@@ -1,0 +1,242 @@
+// Package repro_test holds the benchmark harness: one benchmark per table /
+// figure / design-choice ablation listed in DESIGN.md and EXPERIMENTS.md.
+// Each compression benchmark reports the paper's headline metric
+// (raw-bytes / invariant-bytes) via b.ReportMetric in addition to timing the
+// invariant construction.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/arrangement"
+	"repro/internal/invariant"
+	"repro/internal/logic"
+	"repro/internal/pointfo"
+	"repro/internal/relational"
+	"repro/internal/translate"
+	"repro/topoinv"
+)
+
+func benchCompression(b *testing.B, inst *topoinv.Instance, name string, bpp, bpc int) {
+	b.Helper()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		c, err := topoinv.Measure(name, inst, bpp, bpc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = c.Ratio
+	}
+	b.ReportMetric(ratio, "raw/inv")
+}
+
+// BenchmarkE1LandUseCompression regenerates experiment E1 (Sequoia ground
+// occupancy: paper ratio ≈ 90).
+func BenchmarkE1LandUseCompression(b *testing.B) {
+	inst, err := topoinv.LandUse(topoinv.DefaultLandUse(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCompression(b, inst, "ground-occ", 20, 3)
+}
+
+// BenchmarkE2HydroCompression regenerates experiment E2 (rivers/lakes: paper
+// ratio ≈ 300).
+func BenchmarkE2HydroCompression(b *testing.B) {
+	inst, err := topoinv.Hydrography(topoinv.DefaultHydrography(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCompression(b, inst, "rivers-lakes", 20, 2)
+}
+
+// BenchmarkE3CommuneCompression regenerates experiment E3 (IGN Orange: paper
+// ratio ≈ 72).
+func BenchmarkE3CommuneCompression(b *testing.B) {
+	inst, err := topoinv.Commune(topoinv.DefaultCommune(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCompression(b, inst, "commune", 18, 2)
+}
+
+// BenchmarkE4DegreeStats regenerates experiment E4 (lines-per-point degree
+// statistics; paper: average 4.5, maxima 12 / 8).
+func BenchmarkE4DegreeStats(b *testing.B) {
+	inst, err := topoinv.LandUse(topoinv.DefaultLandUse(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		c, err := topoinv.Measure("ground-occ", inst, 20, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = c.AvgDegree
+	}
+	b.ReportMetric(avg, "avg-lines/point")
+}
+
+// BenchmarkE5Strategies regenerates experiment E5: the four evaluation
+// strategies of the paper's practical-considerations discussion on a
+// single-region nested instance.
+func BenchmarkE5Strategies(b *testing.B) {
+	inst, err := topoinv.NestedRegions(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := topoinv.HasInterior("P")
+	for _, s := range []topoinv.Strategy{topoinv.Direct, topoinv.ViaInvariantFO, topoinv.ViaInvariantFixpoint, topoinv.ViaLinearized} {
+		b.Run(s.String(), func(b *testing.B) {
+			db, err := topoinv.Open(inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.Invariant(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Ask(query, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6TranslationCost regenerates experiment E6: FO-target class
+// enumeration (hyperexponential) versus fixpoint-target construction (linear
+// in query size).
+func BenchmarkE6TranslationCost(b *testing.B) {
+	q := topoinv.NonEmpty("P")
+	b.Run("fo-target-classes", func(b *testing.B) {
+		var classes int
+		for i := 0; i < b.N; i++ {
+			fo := translate.ToFOQuery("P", q)
+			n, err := fo.EnumerateClasses(4, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			classes = n
+		}
+		b.ReportMetric(float64(classes), "classes")
+	})
+	b.Run("fixpoint-target", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = translate.ToFixpointQuery(q, false)
+		}
+		b.ReportMetric(float64(pointfo.Size(q)), "query-size")
+	})
+}
+
+// BenchmarkE7FixpointCapture regenerates experiment E7: fixpoint+counting
+// queries evaluated on invariants (parity of the number of cells of a region,
+// connectivity via fixpoint reachability).
+func BenchmarkE7FixpointCapture(b *testing.B) {
+	inst, err := topoinv.MultiComponent(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inv, err := topoinv.ComputeInvariant(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := inv.ToStructure()
+	parity := logic.EvenCardinality(invariant.RegionRelation("P"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = logic.MustEval(s, parity, nil)
+	}
+}
+
+// BenchmarkF1ComponentTree regenerates the Fig. 1 / Fig. 2 structural
+// experiment: connected components, distances and the component tree.
+func BenchmarkF1ComponentTree(b *testing.B) {
+	inst := topoinv.MustBuild(topoinv.MustSchema("P", "Q", "R"), map[string]topoinv.Region{
+		"P": topoinv.Annulus(0, 0, 30, 30, 2),
+		"Q": topoinv.Rect(10, 10, 20, 20),
+		"R": topoinv.Rect(40, 0, 50, 10),
+	})
+	for i := 0; i < b.N; i++ {
+		inv, err := topoinv.ComputeInvariant(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = inv.Components().TreeString()
+	}
+}
+
+// BenchmarkF9CycleEquivalence times the Ehrenfeucht–Fraïssé cycle-type
+// comparison behind the Fig. 9 discussion (cyclic order versus successor).
+func BenchmarkF9CycleEquivalence(b *testing.B) {
+	inv, err := topoinv.ComputeInvariant(topoinv.MustBuild(topoinv.MustSchema("P", "Q"), map[string]topoinv.Region{
+		"P": topoinv.Rect(0, 0, 4, 4),
+		"Q": topoinv.Rect(2, 2, 6, 6),
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa := inv.ToStructure()
+	sb := inv.ToStructure()
+	for i := 0; i < b.N; i++ {
+		if !relational.Isomorphic(sa, sb) {
+			b.Fatal("identical structures should be isomorphic")
+		}
+	}
+}
+
+// BenchmarkAblationRatVsFloat compares the exact-rational arrangement against
+// the naive candidate-pair ablation (design-choice ablations of DESIGN.md).
+func BenchmarkAblationIntersection(b *testing.B) {
+	inst, err := topoinv.LandUse(topoinv.DefaultLandUse(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("grid-pairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := arrangement.Build(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive-pairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := arrangement.Build(inst, arrangement.WithNaivePairFinding()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationIso compares invariant isomorphism via canonical codes
+// against the backtracking search.
+func BenchmarkAblationIso(b *testing.B) {
+	mk := func(offset int64) *invariant.Invariant {
+		inst := topoinv.MustBuild(topoinv.MustSchema("P", "Q"), map[string]topoinv.Region{
+			"P": topoinv.Annulus(offset, 0, offset+30, 30, 3),
+			"Q": topoinv.Rect(offset+10, 10, offset+20, 20),
+		})
+		inv, err := topoinv.ComputeInvariant(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return inv
+	}
+	a, c := mk(0), mk(500)
+	b.Run("canonical-code", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if translate.CanonicalCode(a) != translate.CanonicalCode(c) {
+				b.Fatal("should be equivalent")
+			}
+		}
+	})
+	b.Run("backtracking", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !invariant.Isomorphic(a, c) {
+				b.Fatal("should be equivalent")
+			}
+		}
+	})
+}

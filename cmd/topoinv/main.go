@@ -1,0 +1,81 @@
+// Command topoinv is a small CLI around the library: it generates one of the
+// built-in workloads, computes its topological invariant, prints the
+// compression statistics of the paper's practical-considerations section and
+// optionally answers a built-in topological query with a chosen strategy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/stats"
+	"repro/topoinv"
+)
+
+func main() {
+	workloadName := flag.String("workload", "landuse", "workload: landuse | hydrography | commune | nested | multicomponent")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	strategy := flag.String("strategy", "direct", "query strategy: direct | fo | fixpoint | linearized")
+	flag.Parse()
+
+	inst, bpp, bpc := buildWorkload(*workloadName, *scale)
+	c, err := topoinv.Measure(*workloadName, inst, bpp, bpc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(stats.Header())
+	fmt.Println(c.Row())
+
+	db, err := topoinv.Open(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	name := inst.Schema().Names()[0]
+	query := topoinv.NonEmpty(name)
+	s := map[string]topoinv.Strategy{
+		"direct":     topoinv.Direct,
+		"fo":         topoinv.ViaInvariantFO,
+		"fixpoint":   topoinv.ViaInvariantFixpoint,
+		"linearized": topoinv.ViaLinearized,
+	}[*strategy]
+	ans, err := db.Ask(query, s)
+	if err != nil {
+		log.Fatalf("query with strategy %s: %v", *strategy, err)
+	}
+	fmt.Printf("query %s with strategy %s: %v\n", query, s, ans)
+}
+
+func buildWorkload(name string, scale int) (*topoinv.Instance, int, int) {
+	switch name {
+	case "landuse":
+		inst, err := topoinv.LandUse(topoinv.DefaultLandUse(scale))
+		fatal(err)
+		return inst, 20, 3
+	case "hydrography":
+		inst, err := topoinv.Hydrography(topoinv.DefaultHydrography(scale))
+		fatal(err)
+		return inst, 20, 2
+	case "commune":
+		inst, err := topoinv.Commune(topoinv.DefaultCommune(scale))
+		fatal(err)
+		return inst, 18, 2
+	case "nested":
+		inst, err := topoinv.NestedRegions(scale + 1)
+		fatal(err)
+		return inst, 20, 2
+	case "multicomponent":
+		inst, err := topoinv.MultiComponent(scale + 2)
+		fatal(err)
+		return inst, 20, 2
+	default:
+		log.Fatalf("unknown workload %q", name)
+		return nil, 0, 0
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

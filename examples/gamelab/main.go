@@ -1,0 +1,45 @@
+// Command gamelab explores the Ehrenfeucht–Fraïssé machinery behind the
+// paper's Section 4: FOr-equivalence of linear orders (the Zone B argument of
+// Lemma 4.6), word types and conjugates (Lemma 4.8), and the fixpoint /
+// counting queries on invariants that motivate Theorems 3.2 and 3.4
+// (connectivity and parity of the number of connected components).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ef"
+	"repro/internal/invariant"
+	"repro/internal/logic"
+	"repro/topoinv"
+)
+
+func main() {
+	fmt.Println("FOr-equivalence of linear orders (orders are equivalent iff equal or both ≥ 2^r−1):")
+	for _, r := range []int{1, 2, 3} {
+		fmt.Printf("  r=%d:", r)
+		for _, pair := range [][2]int{{2, 3}, {3, 4}, {7, 9}} {
+			fmt.Printf("  |%d| vs |%d| → %v", pair[0], pair[1], ef.OrdersEquivalent(pair[0], pair[1], r))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nWord types (rank 2): 0^5 vs 0^6 equivalent?", ef.WordsEquivalent(ef.Word{0, 0, 0, 0, 0}, ef.Word{0, 0, 0, 0, 0, 0}, 1, 2))
+	fmt.Println("Conjugates of 011:", ef.Conjugates(ef.Word{0, 1, 1}))
+
+	fmt.Println("\nFixpoint and counting queries on topological invariants (Theorems 3.2/3.4):")
+	for _, n := range []int{2, 3, 4, 5} {
+		inst, err := topoinv.MultiComponent(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inv := invariant.MustCompute(inst)
+		s := inv.ToStructure()
+		// Parity of the number of P-faces is a fixpoint+counting query —
+		// the paper's canonical example of a query beyond plain fixpoint.
+		even := logic.MustEval(s, logic.EvenCardinality(invariant.RegionRelation("P")), nil)
+		comps := inv.Components().Count()
+		fmt.Printf("  %d components: even number of cells in P? %v (components=%d)\n", n, even, comps)
+	}
+}

@@ -1,0 +1,49 @@
+// Command quickstart shows the minimal end-to-end use of the public API:
+// build a spatial instance, compute its topological invariant, and answer a
+// topological query against the invariant instead of the raw data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/topoinv"
+)
+
+func main() {
+	schema := topoinv.MustSchema("parks", "lake")
+	inst := topoinv.MustBuild(schema, map[string]topoinv.Region{
+		"parks": topoinv.Rect(0, 0, 100, 100),
+		"lake":  topoinv.Rect(30, 30, 60, 60),
+	})
+
+	db, err := topoinv.Open(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv, err := db.Invariant()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instance:", inst.Summarise())
+	fmt.Println("invariant:", inv)
+
+	for _, q := range []struct {
+		name  string
+		query topoinv.Query
+	}{
+		{"lake intersects parks", topoinv.Intersects("lake", "parks")},
+		{"lake contained in parks", topoinv.Contained("lake", "parks")},
+		{"they meet only on boundaries", topoinv.BoundaryOnlyIntersection("lake", "parks")},
+	} {
+		direct, err := db.Ask(q.query, topoinv.Direct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		viaInv, err := db.Ask(q.query, topoinv.ViaInvariantFixpoint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s direct=%v via-invariant=%v\n", q.name, direct, viaInv)
+	}
+}

@@ -1,0 +1,69 @@
+// Command translation demonstrates Section 4 of the paper: a topological
+// query over a single-region database is translated once and answered on the
+// topological invariant — either as a first-order query (Theorem 4.9, via the
+// cones/cycles normal form) or as a fixpoint query (Theorem 4.1/4.2) — and
+// the answers agree with direct evaluation across topologically equivalent
+// instances.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/invariant"
+	"repro/internal/pointfo"
+	"repro/internal/translate"
+	"repro/topoinv"
+)
+
+func main() {
+	query := topoinv.HasInterior("P")
+	fo := translate.ToFOQuery("P", query)
+	fix := translate.ToFixpointQuery(query, true)
+
+	instances := map[string]*topoinv.Instance{
+		"disk":        mustInstance(map[string]topoinv.Region{"P": topoinv.Rect(0, 0, 20, 20)}),
+		"annulus":     mustInstance(map[string]topoinv.Region{"P": topoinv.Annulus(0, 0, 40, 40, 6)}),
+		"curve":       mustInstance(map[string]topoinv.Region{"P": topoinv.FromPolyline(topoinv.MustPolyline(topoinv.Pt(0, 0), topoinv.Pt(30, 0), topoinv.Pt(30, 30)))}),
+		"lone point":  mustInstance(map[string]topoinv.Region{"P": topoinv.FromPoint(topoinv.Pt(5, 5))}),
+		"two squares": mustNested(),
+	}
+
+	fmt.Printf("query: %s (quantifier depth %d)\n\n", query, pointfo.QuantifierDepth(query))
+	fmt.Printf("%-12s %-8s %-14s %-16s\n", "instance", "direct", "FO on top(I)", "fixpoint on top(I)")
+	for name, inst := range instances {
+		db, err := topoinv.Open(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		direct, err := db.Ask(query, topoinv.Direct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inv := invariant.MustCompute(inst)
+		viaFO, err := fo.EvaluateOnInvariant(inv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		viaFix, err := fix.EvaluateOnInvariant(inv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %-8v %-14v %-16v\n", name, direct, viaFO, viaFix)
+	}
+	fmt.Printf("\n≈r classes evaluated while translating to FO: %d\n", fo.ClassesEvaluated)
+	fmt.Println("(the FO translation cost grows hyperexponentially with quantifier depth;")
+	fmt.Println(" the fixpoint translation is linear in the query — Theorems 4.9 vs 4.1)")
+}
+
+func mustInstance(regs map[string]topoinv.Region) *topoinv.Instance {
+	return topoinv.MustBuild(topoinv.MustSchema("P"), regs)
+}
+
+func mustNested() *topoinv.Instance {
+	inst, err := topoinv.NestedRegions(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return inst
+}

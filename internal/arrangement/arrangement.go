@@ -1,0 +1,409 @@
+// Package arrangement builds the maximum topological cell decomposition of a
+// spatial instance: the planar subdivision induced by the boundaries of all
+// regions, reduced so that only topologically significant vertices remain.
+//
+// This is the substrate the paper takes from [KY85]/[BKR86]: a cell complex
+// whose cells are homeomorphic to R⁰, R¹ or R² minus a finite set of points,
+// such that the closure of each cell is a union of cells and each cell lies
+// inside a single sign class (interior / boundary / exterior of every
+// region).  The topological invariant of the paper (package invariant) is a
+// relational presentation of this complex.
+//
+// The construction pipeline is:
+//
+//  1. subdivision — split all boundary segments at their mutual
+//     intersections and at isolated region points, producing elementary
+//     sub-segments meeting only at endpoints (subdivide.go);
+//  2. face tracing — build the rotation system and trace face boundary
+//     cycles, assigning hole cycles and isolated vertices to their
+//     containing faces (faces.go);
+//  3. classification — compute the sign class of every cell with respect to
+//     every region (classify.go);
+//  4. reduction — remove topologically insignificant degree-2 vertices,
+//     merging their incident edges, to obtain the maximum topological cell
+//     decomposition (reduce.go).
+package arrangement
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/spatial"
+)
+
+// Sign is the position of a cell relative to one region.
+type Sign int
+
+const (
+	// Exterior: the cell is disjoint from the (closed) region.
+	Exterior Sign = iota
+	// Boundary: the cell is contained in the topological boundary of the region.
+	Boundary
+	// Interior: the cell is contained in the interior of the region.
+	Interior
+)
+
+func (s Sign) String() string {
+	switch s {
+	case Exterior:
+		return "-"
+	case Boundary:
+		return "∂"
+	case Interior:
+		return "o"
+	default:
+		return "?"
+	}
+}
+
+// CellKind distinguishes vertices, edges and faces.
+type CellKind int
+
+const (
+	// VertexCell is a 0-dimensional cell.
+	VertexCell CellKind = iota
+	// EdgeCell is a 1-dimensional cell.
+	EdgeCell
+	// FaceCell is a 2-dimensional cell.
+	FaceCell
+)
+
+func (k CellKind) String() string {
+	switch k {
+	case VertexCell:
+		return "vertex"
+	case EdgeCell:
+		return "edge"
+	case FaceCell:
+		return "face"
+	default:
+		return "?"
+	}
+}
+
+// CellRef identifies a cell of the complex by kind and index.
+type CellRef struct {
+	Kind  CellKind
+	Index int
+}
+
+func (c CellRef) String() string { return fmt.Sprintf("%s#%d", c.Kind, c.Index) }
+
+// Vertex is a 0-cell of the complex.
+type Vertex struct {
+	ID    int
+	Point geom.Point
+	// Cone is the cyclic (counterclockwise) sequence of cells incident to
+	// the vertex, alternating edge, face, edge, face, …  Faces may repeat.
+	// It is empty for isolated vertices and has length 2 (edge, face) for
+	// degree-1 vertices.
+	Cone []CellRef
+	// Face is the face whose closure contains the vertex.  For isolated
+	// vertices this is the face containing the point; for other vertices it
+	// is one of the incident faces (the first in the cone).
+	Face int
+	// Isolated reports whether the vertex has no incident edges.
+	Isolated bool
+	// Sign maps region names to the vertex's sign class.
+	Sign map[string]Sign
+}
+
+// Degree returns the number of edge incidences at the vertex (a loop counts
+// twice).
+func (v *Vertex) Degree() int { return len(v.Cone) / 2 }
+
+// IncidentEdges returns the distinct edges incident to the vertex.
+func (v *Vertex) IncidentEdges() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range v.Cone {
+		if c.Kind == EdgeCell && !seen[c.Index] {
+			seen[c.Index] = true
+			out = append(out, c.Index)
+		}
+	}
+	return out
+}
+
+// IncidentFaces returns the distinct faces incident to the vertex.
+func (v *Vertex) IncidentFaces() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range v.Cone {
+		if c.Kind == FaceCell && !seen[c.Index] {
+			seen[c.Index] = true
+			out = append(out, c.Index)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, v.Face)
+	}
+	return out
+}
+
+// Edge is a 1-cell: a maximal open curve of the decomposition.
+// Its geometry is the polyline Chain.  V1/V2 are the endpoint vertex IDs:
+//   - ordinary edge: V1 and V2 are distinct (a "proper edge" in the paper);
+//   - loop: V1 == V2 (a closed curve through exactly one vertex);
+//   - free loop: V1 == V2 == -1 (a closed curve with no vertex on it).
+type Edge struct {
+	ID     int
+	V1, V2 int
+	Chain  []geom.Point
+	// Closed reports whether the geometry is a closed curve (loop or free
+	// loop); the chain then starts and ends at the same point.
+	Closed bool
+	// Faces are the IDs of the faces incident to the edge (one or two
+	// distinct values).
+	Faces []int
+	// Sign maps region names to the edge's sign class.
+	Sign map[string]Sign
+}
+
+// IsProper reports whether the edge connects two distinct vertices
+// (the paper's "proper edge").
+func (e *Edge) IsProper() bool { return e.V1 >= 0 && e.V2 >= 0 && e.V1 != e.V2 }
+
+// IsLoop reports whether the edge is a loop at a single vertex.
+func (e *Edge) IsLoop() bool { return e.V1 >= 0 && e.V1 == e.V2 }
+
+// IsFreeLoop reports whether the edge is a closed curve with no vertices.
+func (e *Edge) IsFreeLoop() bool { return e.V1 < 0 && e.V2 < 0 }
+
+// Midpoint returns a representative point on the open edge.
+func (e *Edge) Midpoint() geom.Point {
+	i := len(e.Chain) / 2
+	if i == 0 {
+		i = 1
+	}
+	return geom.Mid(e.Chain[i-1], e.Chain[i])
+}
+
+// Face is a 2-cell.
+type Face struct {
+	ID int
+	// Exterior reports whether this is the unbounded exterior face.
+	Exterior bool
+	// Rep is a point strictly inside the face.
+	Rep geom.Point
+	// Edges are the IDs of edges on the face's boundary.
+	Edges []int
+	// Vertices are the IDs of vertices adjacent to the face (on its
+	// boundary or isolated inside it).
+	Vertices []int
+	// IsolatedVertices are the IDs of isolated vertices lying inside the
+	// face (a subset of Vertices).
+	IsolatedVertices []int
+	// Sign maps region names to the face's sign class (never Boundary).
+	Sign map[string]Sign
+}
+
+// Complex is the maximum topological cell decomposition of a spatial
+// instance.
+type Complex struct {
+	Schema   *spatial.Schema
+	Vertices []*Vertex
+	Edges    []*Edge
+	Faces    []*Face
+	// ExteriorFace is the ID of the unbounded face.
+	ExteriorFace int
+	// Stats carries construction statistics (degree distribution etc.).
+	Stats Stats
+}
+
+// Stats records statistics about the construction, matching the measurements
+// reported in the paper's practical-considerations section.
+type Stats struct {
+	InputSegments    int
+	SubSegments      int
+	FullVertices     int
+	ReducedVertices  int
+	ReducedEdges     int
+	Faces            int
+	CandidatePairs   int
+	IntersectionOps  int
+	MaxLinesPerPoint int
+	AvgLinesPerPoint float64
+}
+
+// CellCount returns the total number of cells (vertices + edges + faces),
+// the paper's unit for invariant size.
+func (c *Complex) CellCount() int {
+	return len(c.Vertices) + len(c.Edges) + len(c.Faces)
+}
+
+// Cell returns sign information for an arbitrary cell reference.
+func (c *Complex) Cell(ref CellRef) (map[string]Sign, error) {
+	switch ref.Kind {
+	case VertexCell:
+		if ref.Index < 0 || ref.Index >= len(c.Vertices) {
+			return nil, fmt.Errorf("arrangement: vertex %d out of range", ref.Index)
+		}
+		return c.Vertices[ref.Index].Sign, nil
+	case EdgeCell:
+		if ref.Index < 0 || ref.Index >= len(c.Edges) {
+			return nil, fmt.Errorf("arrangement: edge %d out of range", ref.Index)
+		}
+		return c.Edges[ref.Index].Sign, nil
+	case FaceCell:
+		if ref.Index < 0 || ref.Index >= len(c.Faces) {
+			return nil, fmt.Errorf("arrangement: face %d out of range", ref.Index)
+		}
+		return c.Faces[ref.Index].Sign, nil
+	default:
+		return nil, fmt.Errorf("arrangement: unknown cell kind %v", ref.Kind)
+	}
+}
+
+// Option configures Build.
+type Option func(*config)
+
+type config struct {
+	naivePairs bool
+}
+
+// WithNaivePairFinding forces the all-pairs candidate search instead of the
+// grid index (used for ablation benchmarks and cross-checking).
+func WithNaivePairFinding() Option {
+	return func(c *config) { c.naivePairs = true }
+}
+
+// Build computes the maximum topological cell decomposition of the instance.
+func Build(inst *spatial.Instance, opts ...Option) (*Complex, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("arrangement: invalid instance: %w", err)
+	}
+
+	// 1. Subdivision.
+	sub := subdivide(inst, cfg.naivePairs)
+
+	// 2. Face tracing on the full subdivision.
+	full, err := traceFaces(sub)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Sign classification of the full complex.
+	classify(full, inst)
+
+	// 4. Topological reduction.
+	cx := reduce(full, inst)
+	cx.Schema = inst.Schema()
+	cx.Stats.InputSegments = sub.inputSegments
+	cx.Stats.SubSegments = len(sub.segments)
+	cx.Stats.FullVertices = len(sub.points)
+	cx.Stats.CandidatePairs = sub.candidatePairs
+	cx.Stats.IntersectionOps = sub.intersectionOps
+	cx.Stats.ReducedVertices = len(cx.Vertices)
+	cx.Stats.ReducedEdges = len(cx.Edges)
+	cx.Stats.Faces = len(cx.Faces)
+	fillDegreeStats(cx)
+	return cx, nil
+}
+
+func fillDegreeStats(cx *Complex) {
+	total, count, max := 0, 0, 0
+	for _, v := range cx.Vertices {
+		d := v.Degree()
+		if d == 0 {
+			continue
+		}
+		total += d
+		count++
+		if d > max {
+			max = d
+		}
+	}
+	cx.Stats.MaxLinesPerPoint = max
+	if count > 0 {
+		cx.Stats.AvgLinesPerPoint = float64(total) / float64(count)
+	}
+}
+
+// VerticesByPoint returns a map from point key to vertex ID, useful in tests.
+func (c *Complex) VerticesByPoint() map[string]int {
+	out := make(map[string]int, len(c.Vertices))
+	for _, v := range c.Vertices {
+		out[v.Point.Key()] = v.ID
+	}
+	return out
+}
+
+// FaceOfPoint returns the ID of the cell containing the given point: a vertex
+// if the point is a vertex, an edge if it lies on an edge, otherwise the face
+// containing it.
+func (c *Complex) FaceOfPoint(p geom.Point) CellRef {
+	for _, v := range c.Vertices {
+		if v.Point.Equal(p) {
+			return CellRef{VertexCell, v.ID}
+		}
+	}
+	for _, e := range c.Edges {
+		for i := 0; i+1 < len(e.Chain); i++ {
+			s := geom.Seg(e.Chain[i], e.Chain[i+1])
+			if s.ContainsPoint(p) {
+				return CellRef{EdgeCell, e.ID}
+			}
+		}
+	}
+	// Locate among faces: find the bounded face whose sign-class
+	// representative polygon test succeeds.  We use the face assignment
+	// machinery indirectly: the face containing p is the one whose boundary
+	// cycles wind around p an odd number of times.  For simplicity, test
+	// faces from innermost to outermost using their boundary edges.
+	best := c.ExteriorFace
+	bestArea := -1.0
+	for _, f := range c.Faces {
+		if f.Exterior {
+			continue
+		}
+		pts := c.faceOuterApprox(f)
+		if len(pts) < 3 {
+			continue
+		}
+		if crossingContains(pts, p) {
+			a := approxAbsArea(pts)
+			if bestArea < 0 || a < bestArea {
+				bestArea = a
+				best = f.ID
+			}
+		}
+	}
+	return CellRef{FaceCell, best}
+}
+
+// faceOuterApprox returns the concatenated chains of the face's boundary
+// edges — an over-approximation usable only for point-location heuristics in
+// FaceOfPoint (exact use sites avoid it).
+func (c *Complex) faceOuterApprox(f *Face) []geom.Point {
+	var pts []geom.Point
+	for _, eid := range f.Edges {
+		pts = append(pts, c.Edges[eid].Chain...)
+	}
+	return pts
+}
+
+func approxAbsArea(pts []geom.Point) float64 {
+	sum := 0.0
+	for i := 0; i < len(pts); i++ {
+		x1, y1 := pts[i].Float()
+		x2, y2 := pts[(i+1)%len(pts)].Float()
+		sum += x1*y2 - x2*y1
+	}
+	if sum < 0 {
+		sum = -sum
+	}
+	return sum
+}
+
+// SortedRegionNames returns the schema's region names in schema order.
+func (c *Complex) SortedRegionNames() []string {
+	names := c.Schema.Names()
+	sort.Strings(names)
+	return names
+}

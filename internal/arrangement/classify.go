@@ -1,0 +1,116 @@
+package arrangement
+
+import (
+	"repro/internal/geom"
+	"repro/internal/spatial"
+)
+
+// classify computes the sign class (interior / boundary / exterior) of every
+// cell of the full subdivision with respect to every region of the instance.
+//
+// The classification is computed exactly and respects the union semantics of
+// multi-feature regions: an edge shared by two area features of the same
+// region is classified as interior of that region, since the union has a
+// neighbourhood of the edge on both sides.  The rules are:
+//
+//   - face:   interior iff its representative point (never on a boundary
+//     segment) belongs to the closed region, else exterior;
+//   - edge:   exterior if its midpoint is outside the closed region;
+//     otherwise interior iff both incident faces are interior, else
+//     boundary;
+//   - vertex: exterior if the point is outside the closed region; otherwise
+//     interior iff every incident face is interior and every incident edge
+//     is non-exterior, else boundary.  Isolated vertices inside the region
+//     are interior only if their containing face is interior.
+func classify(fc *fullComplex, inst *spatial.Instance) {
+	names := inst.Schema().Names()
+
+	// Faces.
+	fc.faceSign = make([]map[string]Sign, len(fc.faces))
+	for _, f := range fc.faces {
+		m := make(map[string]Sign, len(names))
+		for _, name := range names {
+			if inst.Region(name).Contains(f.rep) {
+				m[name] = Interior
+			} else {
+				m[name] = Exterior
+			}
+		}
+		fc.faceSign[f.id] = m
+	}
+
+	// Edges (sub-segments).
+	fc.segSign = make([]map[string]Sign, len(fc.sub.segments))
+	for i, s := range fc.sub.segments {
+		mid := geom.Mid(fc.sub.points[s.a], fc.sub.points[s.b])
+		leftFace := fc.heFace[2*i]
+		rightFace := fc.heFace[2*i+1]
+		m := make(map[string]Sign, len(names))
+		for _, name := range names {
+			if !inst.Region(name).Contains(mid) {
+				m[name] = Exterior
+				continue
+			}
+			if fc.faceSign[leftFace][name] == Interior && fc.faceSign[rightFace][name] == Interior {
+				m[name] = Interior
+			} else {
+				m[name] = Boundary
+			}
+		}
+		fc.segSign[i] = m
+	}
+
+	// Vertices.
+	fc.vertexSign = make([]map[string]Sign, len(fc.sub.points))
+	for v := range fc.sub.points {
+		p := fc.sub.points[v]
+		m := make(map[string]Sign, len(names))
+		out := fc.vertexOut[v]
+		for _, name := range names {
+			if !inst.Region(name).Contains(p) {
+				m[name] = Exterior
+				continue
+			}
+			interior := true
+			if len(out) == 0 {
+				// Isolated vertex: interior iff its containing face is
+				// interior (then a neighbourhood minus the point is in the
+				// region, and so is the point).
+				f, ok := fc.vertexFace[v]
+				if !ok || fc.faceSign[f][name] != Interior {
+					interior = false
+				}
+			} else {
+				for _, h := range out {
+					if fc.faceSign[fc.heFace[h]][name] != Interior {
+						interior = false
+						break
+					}
+					if fc.segSign[segOf(h)][name] == Exterior {
+						interior = false
+						break
+					}
+				}
+			}
+			if interior {
+				m[name] = Interior
+			} else {
+				m[name] = Boundary
+			}
+		}
+		fc.vertexSign[v] = m
+	}
+}
+
+// signEqual reports whether two sign maps agree on every region.
+func signEqual(a, b map[string]Sign) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

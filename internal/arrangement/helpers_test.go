@@ -1,0 +1,9 @@
+package arrangement
+
+import "repro/internal/rat"
+
+// ratAlias and ratOf keep the test files free of a direct rat import at every
+// call site.
+type ratAlias = rat.R
+
+func ratOf(n int64) rat.R { return rat.FromInt(n) }

@@ -1,0 +1,253 @@
+package arrangement
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/spatial"
+)
+
+// subSeg is an elementary sub-segment between two vertex IDs.  Elementary
+// sub-segments intersect each other only at shared endpoints.
+type subSeg struct {
+	a, b int // vertex IDs, a < b is not required
+}
+
+// subdivision is the output of the splitting phase.
+type subdivision struct {
+	points   []geom.Point   // vertex coordinates, indexed by vertex ID
+	pointID  map[string]int // point key -> vertex ID
+	segments []subSeg
+	// isolatedCandidates are vertex IDs created from dimension-0 region
+	// features; they are isolated only if no sub-segment ends at them.
+	isolatedCandidates []int
+
+	inputSegments   int
+	candidatePairs  int
+	intersectionOps int
+}
+
+func (s *subdivision) vertexID(p geom.Point) int {
+	k := p.Key()
+	if id, ok := s.pointID[k]; ok {
+		return id
+	}
+	id := len(s.points)
+	s.points = append(s.points, p)
+	s.pointID[k] = id
+	return id
+}
+
+// subdivide collects all boundary segments and isolated points of the
+// instance and splits the segments at every mutual intersection so that the
+// resulting elementary sub-segments meet only at endpoints.
+func subdivide(inst *spatial.Instance, naivePairs bool) *subdivision {
+	sub := &subdivision{pointID: make(map[string]int)}
+
+	// Gather the distinct input segments and isolated points.
+	segSet := make(map[string]geom.Segment)
+	var isoPts []geom.Point
+	isoSeen := make(map[string]bool)
+	for _, name := range inst.Schema().Names() {
+		r := inst.Region(name)
+		for _, s := range r.BoundarySegments() {
+			segSet[s.Key()] = s.Canonical()
+		}
+		for _, p := range r.IsolatedPoints() {
+			if !isoSeen[p.Key()] {
+				isoSeen[p.Key()] = true
+				isoPts = append(isoPts, p)
+			}
+		}
+	}
+	segs := make([]geom.Segment, 0, len(segSet))
+	keys := make([]string, 0, len(segSet))
+	for k := range segSet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic order
+	for _, k := range keys {
+		segs = append(segs, segSet[k])
+	}
+	sub.inputSegments = len(segs)
+
+	// Split points for every segment: its endpoints, intersections with other
+	// segments, and isolated points lying on it.
+	splitPts := make([][]geom.Point, len(segs))
+	for i, s := range segs {
+		splitPts[i] = []geom.Point{s.A, s.B}
+	}
+
+	var pairs [][2]int
+	if naivePairs {
+		pairs = naiveCandidatePairs(segs)
+	} else {
+		pairs = gridCandidatePairs(segs)
+	}
+	sub.candidatePairs = len(pairs)
+
+	for _, pr := range pairs {
+		i, j := pr[0], pr[1]
+		sub.intersectionOps++
+		in := geom.SegmentIntersection(segs[i], segs[j])
+		switch in.Kind {
+		case geom.PointIntersection:
+			splitPts[i] = append(splitPts[i], in.P)
+			splitPts[j] = append(splitPts[j], in.P)
+		case geom.OverlapIntersection:
+			splitPts[i] = append(splitPts[i], in.OverlapA, in.OverlapB)
+			splitPts[j] = append(splitPts[j], in.OverlapA, in.OverlapB)
+		}
+	}
+
+	// Isolated points lying on segments split them too.
+	for _, q := range isoPts {
+		for i, s := range segs {
+			if s.ContainsPoint(q) {
+				splitPts[i] = append(splitPts[i], q)
+			}
+		}
+	}
+
+	// Emit elementary sub-segments, deduplicated.
+	segSeen := make(map[[2]int]bool)
+	for i := range segs {
+		pts := geom.SortPoints(splitPts[i])
+		for k := 0; k+1 < len(pts); k++ {
+			a := sub.vertexID(pts[k])
+			b := sub.vertexID(pts[k+1])
+			key := [2]int{a, b}
+			if a > b {
+				key = [2]int{b, a}
+			}
+			if segSeen[key] {
+				continue
+			}
+			segSeen[key] = true
+			sub.segments = append(sub.segments, subSeg{a, b})
+		}
+	}
+
+	// Register isolated points as vertices.
+	for _, q := range isoPts {
+		sub.isolatedCandidates = append(sub.isolatedCandidates, sub.vertexID(q))
+	}
+	return sub
+}
+
+// naiveCandidatePairs returns every pair of segments whose exact bounding
+// boxes intersect.
+func naiveCandidatePairs(segs []geom.Segment) [][2]int {
+	var out [][2]int
+	boxes := make([]geom.Box, len(segs))
+	for i, s := range segs {
+		boxes[i] = s.Box()
+	}
+	for i := 0; i < len(segs); i++ {
+		for j := i + 1; j < len(segs); j++ {
+			if boxes[i].Intersects(boxes[j]) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// gridCandidatePairs uses a uniform float64 grid over padded bounding boxes
+// to find candidate intersecting pairs.  The padding makes the candidate set
+// a superset of the exact-box-overlap pairs for all practical coordinate
+// magnitudes; exactness of the final subdivision only relies on the exact
+// SegmentIntersection applied to each candidate pair.
+func gridCandidatePairs(segs []geom.Segment) [][2]int {
+	n := len(segs)
+	if n < 2 {
+		return nil
+	}
+	type fbox struct{ minX, maxX, minY, maxY float64 }
+	boxes := make([]fbox, n)
+	gMinX, gMinY := math.Inf(1), math.Inf(1)
+	gMaxX, gMaxY := math.Inf(-1), math.Inf(-1)
+	for i, s := range segs {
+		b := s.Box()
+		pad := 1e-6
+		fb := fbox{
+			minX: b.MinX.Float() - pad, maxX: b.MaxX.Float() + pad,
+			minY: b.MinY.Float() - pad, maxY: b.MaxY.Float() + pad,
+		}
+		boxes[i] = fb
+		gMinX = math.Min(gMinX, fb.minX)
+		gMinY = math.Min(gMinY, fb.minY)
+		gMaxX = math.Max(gMaxX, fb.maxX)
+		gMaxY = math.Max(gMaxY, fb.maxY)
+	}
+	width := gMaxX - gMinX
+	height := gMaxY - gMinY
+	if width <= 0 {
+		width = 1
+	}
+	if height <= 0 {
+		height = 1
+	}
+	// Aim for roughly n cells.
+	cells := int(math.Sqrt(float64(n))) + 1
+	cw := width / float64(cells)
+	ch := height / float64(cells)
+	if cw <= 0 {
+		cw = 1
+	}
+	if ch <= 0 {
+		ch = 1
+	}
+	cellOf := func(x, y float64) (int, int) {
+		cx := int((x - gMinX) / cw)
+		cy := int((y - gMinY) / ch)
+		if cx < 0 {
+			cx = 0
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	buckets := make(map[[2]int][]int)
+	for i, fb := range boxes {
+		x0, y0 := cellOf(fb.minX, fb.minY)
+		x1, y1 := cellOf(fb.maxX, fb.maxY)
+		for cx := x0; cx <= x1; cx++ {
+			for cy := y0; cy <= y1; cy++ {
+				buckets[[2]int{cx, cy}] = append(buckets[[2]int{cx, cy}], i)
+			}
+		}
+	}
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	overlap := func(a, b fbox) bool {
+		return a.minX <= b.maxX && b.minX <= a.maxX && a.minY <= b.maxY && b.minY <= a.maxY
+	}
+	for _, ids := range buckets {
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				i, j := ids[x], ids[y]
+				if i > j {
+					i, j = j, i
+				}
+				key := [2]int{i, j}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if overlap(boxes[i], boxes[j]) {
+					out = append(out, key)
+				}
+			}
+		}
+	}
+	return out
+}

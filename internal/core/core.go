@@ -1,0 +1,156 @@
+// Package core ties the substrates together into the paper's headline
+// pipeline: computing the topological invariant of a spatial database and
+// answering topological queries against the invariant instead of the raw
+// spatial data, with a selectable evaluation strategy matching the options
+// discussed in the paper's practical-considerations section:
+//
+//	(i)   Direct              — evaluate the query on the spatial instance;
+//	(ii)  ViaInvariantFO      — translate to a first-order query on the
+//	                            invariant (single-region schemas, Theorem 4.9);
+//	(iii) ViaInvariantFixpoint — translate to a fixpoint(+counting) query on
+//	                            the invariant (Theorem 4.1/4.2);
+//	(iv)  ViaLinearized       — re-embed the invariant as a small linear
+//	                            instance and evaluate the query on it.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/invariant"
+	"repro/internal/pointfo"
+	"repro/internal/spatial"
+	"repro/internal/translate"
+)
+
+// Strategy selects how a topological query is evaluated.
+type Strategy int
+
+const (
+	// Direct evaluates the query on the raw spatial instance.
+	Direct Strategy = iota
+	// ViaInvariantFO translates the query to first-order logic on the
+	// invariant (single-region schemas only).
+	ViaInvariantFO
+	// ViaInvariantFixpoint translates the query to fixpoint(+counting) on
+	// the invariant.
+	ViaInvariantFixpoint
+	// ViaLinearized re-embeds the invariant as a linear instance and
+	// evaluates the query there.
+	ViaLinearized
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Direct:
+		return "direct"
+	case ViaInvariantFO:
+		return "via-invariant-FO"
+	case ViaInvariantFixpoint:
+		return "via-invariant-fixpoint"
+	case ViaLinearized:
+		return "via-linearized"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Database wraps a spatial instance together with its (lazily computed)
+// topological invariant and evaluators.
+type Database struct {
+	inst *spatial.Instance
+	inv  *invariant.Invariant
+	ev   *pointfo.Evaluator
+}
+
+// Open prepares a database for the instance.
+func Open(inst *spatial.Instance) (*Database, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return &Database{inst: inst}, nil
+}
+
+// Instance returns the underlying spatial instance.
+func (db *Database) Instance() *spatial.Instance { return db.inst }
+
+// Invariant computes (once) and returns the topological invariant.
+func (db *Database) Invariant() (*invariant.Invariant, error) {
+	if db.inv == nil {
+		inv, err := invariant.Compute(db.inst)
+		if err != nil {
+			return nil, err
+		}
+		db.inv = inv
+	}
+	return db.inv, nil
+}
+
+func (db *Database) evaluator() (*pointfo.Evaluator, error) {
+	if db.ev == nil {
+		ev, err := pointfo.NewEvaluator(db.inst)
+		if err != nil {
+			return nil, err
+		}
+		db.ev = ev
+	}
+	return db.ev, nil
+}
+
+// Ask evaluates a topological Boolean query with the given strategy.
+func (db *Database) Ask(q pointfo.PointFormula, s Strategy) (bool, error) {
+	switch s {
+	case Direct:
+		ev, err := db.evaluator()
+		if err != nil {
+			return false, err
+		}
+		return ev.EvalPoint(q, nil)
+	case ViaInvariantFO:
+		if db.inst.Schema().Size() != 1 {
+			return false, fmt.Errorf("core: the FO-on-invariant strategy requires a single-region schema (Theorem 4.9); this schema has %d regions", db.inst.Schema().Size())
+		}
+		inv, err := db.Invariant()
+		if err != nil {
+			return false, err
+		}
+		fo := translate.ToFOQuery(db.inst.Schema().Names()[0], q)
+		return fo.EvaluateOnInvariant(inv)
+	case ViaInvariantFixpoint:
+		inv, err := db.Invariant()
+		if err != nil {
+			return false, err
+		}
+		fq := translate.ToFixpointQuery(q, db.inst.AllConnected())
+		return fq.EvaluateOnInvariant(inv)
+	case ViaLinearized:
+		inv, err := db.Invariant()
+		if err != nil {
+			return false, err
+		}
+		j, err := translate.InvertToLinear(inv)
+		if err != nil {
+			return false, err
+		}
+		ev, err := pointfo.NewEvaluator(j)
+		if err != nil {
+			return false, err
+		}
+		return ev.EvalPoint(q, nil)
+	default:
+		return false, fmt.Errorf("core: unknown strategy %v", s)
+	}
+}
+
+// TopologicallyEquivalent reports whether two instances are topologically
+// equivalent, by comparing their invariants (Theorem 2.1(ii)).
+func TopologicallyEquivalent(a, b *spatial.Instance) (bool, error) {
+	ia, err := invariant.Compute(a)
+	if err != nil {
+		return false, err
+	}
+	ib, err := invariant.Compute(b)
+	if err != nil {
+		return false, err
+	}
+	return invariant.Isomorphic(ia, ib), nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pointfo"
+	"repro/internal/region"
+	"repro/internal/spatial"
+)
+
+func TestAskStrategiesAgree(t *testing.T) {
+	// Single-region nested instance: all four strategies are applicable and
+	// must agree on topological queries.
+	inst := spatial.MustBuild(spatial.MustSchema("P"), map[string]region.Region{
+		"P": region.Annulus(0, 0, 40, 40, 5),
+	})
+	db, err := Open(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []pointfo.PointFormula{
+		pointfo.PExists{Vars: []string{"u"}, Body: pointfo.In{Region: "P", Var: "u"}},
+		pointfo.PExists{Vars: []string{"u"}, Body: pointfo.InInterior{Region: "P", Var: "u"}},
+		pointfo.PForall{Vars: []string{"u"}, Body: pointfo.In{Region: "P", Var: "u"}},
+	}
+	for _, q := range queries {
+		want, err := db.Ask(q, Direct)
+		if err != nil {
+			t.Fatalf("direct: %v", err)
+		}
+		for _, s := range []Strategy{ViaInvariantFO, ViaInvariantFixpoint, ViaLinearized} {
+			got, err := db.Ask(q, s)
+			if err != nil {
+				t.Errorf("strategy %v: %v", s, err)
+				continue
+			}
+			if got != want {
+				t.Errorf("query %s: strategy %v = %v, direct = %v", q, s, got, want)
+			}
+		}
+	}
+	if _, err := db.Ask(queries[0], Strategy(99)); err == nil {
+		t.Error("unknown strategy should error")
+	}
+}
+
+func TestAskMultiRegion(t *testing.T) {
+	inst := spatial.MustBuild(spatial.MustSchema("P", "Q"), map[string]region.Region{
+		"P": region.Rect(0, 0, 10, 10),
+		"Q": region.Rect(3, 3, 6, 6),
+	})
+	db, err := Open(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pointfo.QueryIntersect("P", "Q")
+	direct, err := db.Ask(q, Direct)
+	if err != nil || !direct {
+		t.Fatalf("direct: %v %v", direct, err)
+	}
+	viaFix, err := db.Ask(q, ViaInvariantFixpoint)
+	if err != nil || viaFix != direct {
+		t.Errorf("fixpoint strategy: %v %v", viaFix, err)
+	}
+	viaLin, err := db.Ask(q, ViaLinearized)
+	if err != nil || viaLin != direct {
+		t.Errorf("linearized strategy: %v %v", viaLin, err)
+	}
+	if _, err := db.Ask(q, ViaInvariantFO); err == nil {
+		t.Error("FO strategy should reject multi-region schemas")
+	}
+	if db.Instance() != inst {
+		t.Error("Instance accessor wrong")
+	}
+	if inv, err := db.Invariant(); err != nil || inv == nil {
+		t.Error("Invariant accessor wrong")
+	}
+}
+
+func TestTopologicallyEquivalent(t *testing.T) {
+	a := spatial.MustBuild(spatial.MustSchema("P"), map[string]region.Region{"P": region.Rect(0, 0, 4, 4)})
+	b := spatial.MustBuild(spatial.MustSchema("P"), map[string]region.Region{"P": region.Rect(100, 100, 300, 200)})
+	c := spatial.MustBuild(spatial.MustSchema("P"), map[string]region.Region{"P": region.Annulus(0, 0, 10, 10, 3)})
+	if eq, err := TopologicallyEquivalent(a, b); err != nil || !eq {
+		t.Errorf("rectangles should be equivalent: %v %v", eq, err)
+	}
+	if eq, err := TopologicallyEquivalent(a, c); err != nil || eq {
+		t.Errorf("rectangle and annulus should differ: %v %v", eq, err)
+	}
+}

@@ -1,0 +1,356 @@
+// Package invariant implements the topological invariant top(I) of a spatial
+// database instance, as defined by Papadimitriou–Suciu–Vianu and used by
+// Segoufin & Vianu.
+//
+// The invariant is a purely combinatorial (finite relational) summary of the
+// maximum topological cell decomposition of the instance: it records the
+// vertices, edges and faces of the decomposition, their incidences, the
+// distinguished exterior face, for each region the set of cells contained in
+// it, and the full cyclic order (both orientations) of the cells incident to
+// each vertex.  By the results the paper imports from PSV99 it characterises
+// the instance up to homeomorphism (Theorem 2.1) and can be inverted into a
+// topologically equivalent linear instance (Theorem 2.2, package linearize).
+//
+// The Invariant type carries no coordinates: everything downstream of Compute
+// (queries, translations, linearisation) works from the combinatorial data
+// alone, exactly as in the paper.
+package invariant
+
+import (
+	"fmt"
+
+	"repro/internal/arrangement"
+	"repro/internal/spatial"
+)
+
+// Sign re-exports the cell sign classification.
+type Sign = arrangement.Sign
+
+// Sign values.
+const (
+	Exterior = arrangement.Exterior
+	Boundary = arrangement.Boundary
+	Interior = arrangement.Interior
+)
+
+// CellKind re-exports the cell kind enumeration.
+type CellKind = arrangement.CellKind
+
+// Cell kinds.
+const (
+	VertexCell = arrangement.VertexCell
+	EdgeCell   = arrangement.EdgeCell
+	FaceCell   = arrangement.FaceCell
+)
+
+// CellRef identifies a cell of the invariant.
+type CellRef = arrangement.CellRef
+
+// VertexInfo is the combinatorial data of a 0-cell.
+type VertexInfo struct {
+	// Cone is the counterclockwise cyclic sequence of incident cells,
+	// alternating edge, face, edge, face, …; empty for isolated vertices.
+	Cone []CellRef
+	// Face is the face adjacent to (or containing, for isolated vertices)
+	// the vertex.
+	Face int
+	// Isolated reports whether the vertex has no incident edges.
+	Isolated bool
+	// Sign maps region names to the vertex sign class.
+	Sign map[string]Sign
+}
+
+// Degree returns the number of edge incidences (a loop counts twice).
+func (v *VertexInfo) Degree() int { return len(v.Cone) / 2 }
+
+// EdgeInfo is the combinatorial data of a 1-cell.
+type EdgeInfo struct {
+	// V1, V2 are the endpoint vertices; -1/-1 for a free loop (a closed
+	// 1-cell with no endpoints); equal for a loop.
+	V1, V2 int
+	// Closed reports whether the edge is a closed curve.
+	Closed bool
+	// Faces lists the incident faces (one or two).
+	Faces []int
+	// Sign maps region names to the edge sign class.
+	Sign map[string]Sign
+}
+
+// IsProper reports whether the edge has two distinct endpoints.
+func (e *EdgeInfo) IsProper() bool { return e.V1 >= 0 && e.V2 >= 0 && e.V1 != e.V2 }
+
+// IsLoop reports whether the edge is a loop at one vertex.
+func (e *EdgeInfo) IsLoop() bool { return e.V1 >= 0 && e.V1 == e.V2 }
+
+// IsFreeLoop reports whether the edge is a closed curve with no vertices.
+func (e *EdgeInfo) IsFreeLoop() bool { return e.V1 < 0 }
+
+// FaceInfo is the combinatorial data of a 2-cell.
+type FaceInfo struct {
+	// Exterior reports whether this is the unbounded face.
+	Exterior bool
+	// Edges lists the edges on the face's boundary.
+	Edges []int
+	// Vertices lists the vertices adjacent to the face.
+	Vertices []int
+	// IsolatedVertices lists vertices isolated inside the face.
+	IsolatedVertices []int
+	// Sign maps region names to the face sign class.
+	Sign map[string]Sign
+}
+
+// Invariant is the topological invariant top(I) of a spatial instance.
+type Invariant struct {
+	Schema   *spatial.Schema
+	Vertices []*VertexInfo
+	Edges    []*EdgeInfo
+	Faces    []*FaceInfo
+	// ExteriorFace is the index of the unbounded face.
+	ExteriorFace int
+
+	components *Components // computed lazily
+}
+
+// Compute builds the topological invariant of the instance by constructing
+// its maximum topological cell decomposition and forgetting the geometry.
+func Compute(inst *spatial.Instance, opts ...arrangement.Option) (*Invariant, error) {
+	cx, err := arrangement.Build(inst, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("invariant: %w", err)
+	}
+	return FromComplex(cx), nil
+}
+
+// MustCompute is Compute that panics on error (for tests and examples).
+func MustCompute(inst *spatial.Instance) *Invariant {
+	inv, err := Compute(inst)
+	if err != nil {
+		panic(err)
+	}
+	return inv
+}
+
+// FromComplex converts a cell complex into its combinatorial invariant.
+func FromComplex(cx *arrangement.Complex) *Invariant {
+	inv := &Invariant{
+		Schema:       cx.Schema,
+		ExteriorFace: cx.ExteriorFace,
+	}
+	for _, v := range cx.Vertices {
+		cone := make([]CellRef, len(v.Cone))
+		copy(cone, v.Cone)
+		inv.Vertices = append(inv.Vertices, &VertexInfo{
+			Cone:     cone,
+			Face:     v.Face,
+			Isolated: v.Isolated,
+			Sign:     copySign(v.Sign),
+		})
+	}
+	for _, e := range cx.Edges {
+		inv.Edges = append(inv.Edges, &EdgeInfo{
+			V1:     e.V1,
+			V2:     e.V2,
+			Closed: e.Closed,
+			Faces:  append([]int(nil), e.Faces...),
+			Sign:   copySign(e.Sign),
+		})
+	}
+	for _, f := range cx.Faces {
+		inv.Faces = append(inv.Faces, &FaceInfo{
+			Exterior:         f.Exterior,
+			Edges:            append([]int(nil), f.Edges...),
+			Vertices:         append([]int(nil), f.Vertices...),
+			IsolatedVertices: append([]int(nil), f.IsolatedVertices...),
+			Sign:             copySign(f.Sign),
+		})
+	}
+	return inv
+}
+
+func copySign(m map[string]Sign) map[string]Sign {
+	out := make(map[string]Sign, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// CellCount returns the total number of cells — the paper's unit for
+// invariant size.
+func (inv *Invariant) CellCount() int {
+	return len(inv.Vertices) + len(inv.Edges) + len(inv.Faces)
+}
+
+// InvariantBytes returns the storage size using the paper's accounting of
+// bytesPerCell bytes per cell (Sequoia ground occupancy: 3, others: 2).
+func (inv *Invariant) InvariantBytes(bytesPerCell int) int {
+	return inv.CellCount() * bytesPerCell
+}
+
+// Contained reports whether the given cell is contained in the named region.
+func (inv *Invariant) Contained(ref CellRef, name string) bool {
+	switch ref.Kind {
+	case VertexCell:
+		return inv.Vertices[ref.Index].Sign[name] != Exterior
+	case EdgeCell:
+		return inv.Edges[ref.Index].Sign[name] != Exterior
+	case FaceCell:
+		return inv.Faces[ref.Index].Sign[name] != Exterior
+	default:
+		return false
+	}
+}
+
+// SignOf returns the sign class of a cell with respect to a region.
+func (inv *Invariant) SignOf(ref CellRef, name string) Sign {
+	switch ref.Kind {
+	case VertexCell:
+		return inv.Vertices[ref.Index].Sign[name]
+	case EdgeCell:
+		return inv.Edges[ref.Index].Sign[name]
+	case FaceCell:
+		return inv.Faces[ref.Index].Sign[name]
+	default:
+		return Exterior
+	}
+}
+
+// EdgesOfVertex returns the distinct edges incident to a vertex.
+func (inv *Invariant) EdgesOfVertex(v int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range inv.Vertices[v].Cone {
+		if c.Kind == EdgeCell && !seen[c.Index] {
+			seen[c.Index] = true
+			out = append(out, c.Index)
+		}
+	}
+	return out
+}
+
+// ProperEdgesOfVertex returns the incident edges with two distinct endpoints.
+func (inv *Invariant) ProperEdgesOfVertex(v int) []int {
+	var out []int
+	for _, e := range inv.EdgesOfVertex(v) {
+		if inv.Edges[e].IsProper() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FacesOfVertex returns the distinct faces incident to a vertex.
+func (inv *Invariant) FacesOfVertex(v int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range inv.Vertices[v].Cone {
+		if c.Kind == FaceCell && !seen[c.Index] {
+			seen[c.Index] = true
+			out = append(out, c.Index)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, inv.Vertices[v].Face)
+	}
+	return out
+}
+
+// OtherFace returns the face on the other side of edge e from face f
+// (or f itself if the edge has the same face on both sides).
+func (inv *Invariant) OtherFace(e, f int) int {
+	faces := inv.Edges[e].Faces
+	if len(faces) == 1 {
+		return faces[0]
+	}
+	if faces[0] == f {
+		return faces[1]
+	}
+	return faces[0]
+}
+
+// String summarises the invariant.
+func (inv *Invariant) String() string {
+	return fmt.Sprintf("top(I): %d vertices, %d edges, %d faces (%d cells)",
+		len(inv.Vertices), len(inv.Edges), len(inv.Faces), inv.CellCount())
+}
+
+// Validate checks internal consistency of the invariant: incidences are
+// symmetric, indices are in range, cones alternate edge/face.
+func (inv *Invariant) Validate() error {
+	checkFace := func(f int) error {
+		if f < 0 || f >= len(inv.Faces) {
+			return fmt.Errorf("invariant: face index %d out of range", f)
+		}
+		return nil
+	}
+	for i, v := range inv.Vertices {
+		if err := checkFace(v.Face); err != nil {
+			return err
+		}
+		for j, c := range v.Cone {
+			wantKind := EdgeCell
+			if j%2 == 1 {
+				wantKind = FaceCell
+			}
+			if c.Kind != wantKind {
+				return fmt.Errorf("invariant: vertex %d cone position %d has kind %v", i, j, c.Kind)
+			}
+			if c.Kind == EdgeCell && (c.Index < 0 || c.Index >= len(inv.Edges)) {
+				return fmt.Errorf("invariant: vertex %d cone references edge %d out of range", i, c.Index)
+			}
+			if c.Kind == FaceCell {
+				if err := checkFace(c.Index); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i, e := range inv.Edges {
+		if e.V1 >= len(inv.Vertices) || e.V2 >= len(inv.Vertices) {
+			return fmt.Errorf("invariant: edge %d endpoint out of range", i)
+		}
+		if len(e.Faces) == 0 || len(e.Faces) > 2 {
+			return fmt.Errorf("invariant: edge %d has %d incident faces", i, len(e.Faces))
+		}
+		for _, f := range e.Faces {
+			if err := checkFace(f); err != nil {
+				return err
+			}
+			if !containsInt(inv.Faces[f].Edges, i) {
+				return fmt.Errorf("invariant: face %d does not list incident edge %d", f, i)
+			}
+		}
+	}
+	ext := 0
+	for i, f := range inv.Faces {
+		if f.Exterior {
+			ext++
+			if i != inv.ExteriorFace {
+				return fmt.Errorf("invariant: exterior face index mismatch")
+			}
+		}
+		for _, e := range f.Edges {
+			if e < 0 || e >= len(inv.Edges) {
+				return fmt.Errorf("invariant: face %d references edge %d out of range", i, e)
+			}
+		}
+		for _, v := range f.Vertices {
+			if v < 0 || v >= len(inv.Vertices) {
+				return fmt.Errorf("invariant: face %d references vertex %d out of range", i, v)
+			}
+		}
+	}
+	if ext != 1 {
+		return fmt.Errorf("invariant: %d exterior faces, want exactly 1", ext)
+	}
+	return nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

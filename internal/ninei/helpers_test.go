@@ -1,0 +1,11 @@
+package ninei
+
+import "repro/internal/geom"
+
+// Helpers keeping the test table concise.
+
+type regionPolygon = geom.Polygon
+
+func regionPolygonOf(minX, minY, maxX, maxY int64) geom.Polygon {
+	return geom.Rect(minX, minY, maxX, maxY)
+}

@@ -1,0 +1,120 @@
+// Package ninei implements the 4-intersection model of Egenhofer &
+// Franzosa — the lossy topological annotation widely used in geographic
+// information systems and cited by the paper as the baseline the lossless
+// topological invariant improves upon.  The 4-intersection of two regions
+// records the emptiness of the four set intersections boundary/interior ×
+// boundary/interior; the derived relation names (disjoint, meet, overlap,
+// equal, contains, inside, covers, coveredBy) follow Egenhofer's
+// classification.
+//
+// The matrix is computed directly from the cell signs of the maximum
+// topological cell decomposition, exhibiting the 4-intersection as a
+// first-order query over the invariant.
+package ninei
+
+import (
+	"fmt"
+
+	"repro/internal/arrangement"
+	"repro/internal/spatial"
+)
+
+// Matrix is the 4-intersection matrix of an ordered pair of regions.
+type Matrix struct {
+	// BoundaryBoundary etc. report whether the corresponding intersection is
+	// nonempty.
+	BoundaryBoundary bool
+	BoundaryInterior bool
+	InteriorBoundary bool
+	InteriorInterior bool
+}
+
+// Relation is a named Egenhofer relation derived from the matrix together
+// with containment information.
+type Relation string
+
+// The eight Egenhofer relations for regions.
+const (
+	Disjoint  Relation = "disjoint"
+	Meet      Relation = "meet"
+	Overlap   Relation = "overlap"
+	Equal     Relation = "equal"
+	Contains  Relation = "contains"
+	Inside    Relation = "inside"
+	Covers    Relation = "covers"
+	CoveredBy Relation = "coveredBy"
+)
+
+// Compute returns the 4-intersection matrices for all ordered pairs of
+// distinct regions of the instance, keyed by "P|Q".
+func Compute(inst *spatial.Instance) (map[string]Matrix, error) {
+	cx, err := arrangement.Build(inst)
+	if err != nil {
+		return nil, err
+	}
+	names := inst.Schema().Names()
+	out := map[string]Matrix{}
+	for _, p := range names {
+		for _, q := range names {
+			if p == q {
+				continue
+			}
+			out[p+"|"+q] = matrixFromComplex(cx, p, q)
+		}
+	}
+	return out, nil
+}
+
+func matrixFromComplex(cx *arrangement.Complex, p, q string) Matrix {
+	var m Matrix
+	update := func(sp, sq arrangement.Sign) {
+		if sp == arrangement.Boundary && sq == arrangement.Boundary {
+			m.BoundaryBoundary = true
+		}
+		if sp == arrangement.Boundary && sq == arrangement.Interior {
+			m.BoundaryInterior = true
+		}
+		if sp == arrangement.Interior && sq == arrangement.Boundary {
+			m.InteriorBoundary = true
+		}
+		if sp == arrangement.Interior && sq == arrangement.Interior {
+			m.InteriorInterior = true
+		}
+	}
+	for _, v := range cx.Vertices {
+		update(v.Sign[p], v.Sign[q])
+	}
+	for _, e := range cx.Edges {
+		update(e.Sign[p], e.Sign[q])
+	}
+	for _, f := range cx.Faces {
+		update(f.Sign[p], f.Sign[q])
+	}
+	return m
+}
+
+// Classify maps a matrix (for the ordered pair P, Q) to its Egenhofer
+// relation name.  Pairs that do not match one of the eight named patterns
+// (possible for lower-dimensional regions) are reported as "other".
+func Classify(m Matrix) Relation {
+	switch {
+	case !m.BoundaryBoundary && !m.BoundaryInterior && !m.InteriorBoundary && !m.InteriorInterior:
+		return Disjoint
+	case m.BoundaryBoundary && !m.BoundaryInterior && !m.InteriorBoundary && !m.InteriorInterior:
+		return Meet
+	case m.BoundaryBoundary && m.BoundaryInterior && m.InteriorBoundary && m.InteriorInterior:
+		return Overlap
+	case m.BoundaryBoundary && !m.BoundaryInterior && !m.InteriorBoundary && m.InteriorInterior:
+		return Equal
+	case !m.BoundaryBoundary && !m.BoundaryInterior && m.InteriorBoundary && m.InteriorInterior:
+		return Contains
+	case !m.BoundaryBoundary && m.BoundaryInterior && !m.InteriorBoundary && m.InteriorInterior:
+		return Inside
+	case m.BoundaryBoundary && !m.BoundaryInterior && m.InteriorBoundary && m.InteriorInterior:
+		return Covers
+	case m.BoundaryBoundary && m.BoundaryInterior && !m.InteriorBoundary && m.InteriorInterior:
+		return CoveredBy
+	default:
+		return Relation(fmt.Sprintf("other(%v)", m))
+	}
+}

@@ -1,0 +1,62 @@
+package ninei
+
+import (
+	"testing"
+
+	"repro/internal/region"
+	"repro/internal/spatial"
+)
+
+func pair(t *testing.T, p, q region.Region) Matrix {
+	t.Helper()
+	inst := spatial.MustBuild(spatial.MustSchema("P", "Q"), map[string]region.Region{"P": p, "Q": q})
+	ms, err := Compute(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms["P|Q"]
+}
+
+func TestEgenhoferRelations(t *testing.T) {
+	cases := []struct {
+		name string
+		p, q region.Region
+		want Relation
+	}{
+		{"disjoint", region.Rect(0, 0, 4, 4), region.Rect(10, 10, 14, 14), Disjoint},
+		{"meet", region.Rect(0, 0, 4, 4), region.Rect(4, 0, 8, 4), Meet},
+		{"overlap", region.Rect(0, 0, 4, 4), region.Rect(2, 2, 6, 6), Overlap},
+		{"contains", region.Rect(0, 0, 10, 10), region.Rect(3, 3, 6, 6), Contains},
+		{"inside", region.Rect(3, 3, 6, 6), region.Rect(0, 0, 10, 10), Inside},
+		{"covers", region.Rect(0, 0, 10, 10), region.Rect(0, 0, 5, 5), Covers},
+		{"coveredBy", region.Rect(0, 0, 5, 5), region.Rect(0, 0, 10, 10), CoveredBy},
+		{"equal", region.Rect(0, 0, 4, 4), region.Rect(0, 0, 4, 4), Equal},
+	}
+	for _, c := range cases {
+		got := Classify(pair(t, c.p, c.q))
+		if got != c.want {
+			t.Errorf("%s: got %s, want %s", c.name, got, c.want)
+		}
+	}
+}
+
+func TestLossiness(t *testing.T) {
+	// The 4-intersection cannot distinguish one overlap from two overlaps —
+	// the lossless invariant can (the paper's motivation for the lossless
+	// annotation).  Both configurations classify as Overlap.
+	single := pair(t, region.Rect(0, 0, 4, 4), region.Rect(2, 2, 6, 6))
+	double := pair(t,
+		region.Rect(0, 0, 4, 10),
+		region.Must(
+			region.AreaFeature(regionRect(2, 0, 8, 3)),
+			region.AreaFeature(regionRect(2, 6, 8, 9)),
+		),
+	)
+	if Classify(single) != Overlap || Classify(double) != Overlap {
+		t.Errorf("both should classify as overlap: %v %v", Classify(single), Classify(double))
+	}
+}
+
+func regionRect(minX, minY, maxX, maxY int64) (pg regionPolygon) {
+	return regionPolygonOf(minX, minY, maxX, maxY)
+}

@@ -1,0 +1,400 @@
+// Package rat provides exact rational arithmetic for the geometric
+// substrate of the topological-invariant library.
+//
+// The paper's spatial model uses regions defined by polynomial (and, after
+// linearisation, linear) inequalities with rational coefficients.  All
+// geometric predicates used while building the maximum topological cell
+// decomposition (segment intersection, orientation tests, point location)
+// must therefore be exact: a single mis-classified sign flips the topology of
+// the resulting invariant.
+//
+// R is a rational number with an int64 numerator/denominator fast path and a
+// transparent fallback to math/big when an intermediate product would
+// overflow.  Values are always kept in canonical form: the denominator is
+// positive and gcd(|num|, den) == 1; zero is 0/1.
+package rat
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strconv"
+	"strings"
+)
+
+// R is an immutable exact rational number.  The zero value is the number 0.
+//
+// Internally a value either uses the (num, den) int64 pair (big == nil) or,
+// when an operation overflowed 64-bit intermediates, a *big.Rat.  Callers
+// never observe the difference.
+type R struct {
+	num int64
+	den int64 // 0 means "use big"; otherwise den > 0
+	big *big.Rat
+}
+
+// Zero is the rational number 0.
+var Zero = R{num: 0, den: 1}
+
+// One is the rational number 1.
+var One = R{num: 1, den: 1}
+
+// Two is the rational number 2.
+var Two = R{num: 2, den: 1}
+
+// Half is the rational number 1/2.
+var Half = R{num: 1, den: 2}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) R {
+	return R{num: n, den: 1}
+}
+
+// New returns the rational num/den in canonical form.  It panics if den == 0.
+func New(num, den int64) R {
+	if den == 0 {
+		panic("rat: zero denominator")
+	}
+	if den < 0 {
+		// Careful with MinInt64: fall back to big to avoid overflow on negation.
+		if num == math.MinInt64 || den == math.MinInt64 {
+			return fromBig(new(big.Rat).SetFrac(big.NewInt(num), big.NewInt(den)))
+		}
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	return R{num: num, den: den}
+}
+
+// FromFloat converts a float64 to the exactly equal rational number.
+// It panics on NaN or ±Inf.
+func FromFloat(f float64) R {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		panic("rat: cannot convert NaN or Inf")
+	}
+	br := new(big.Rat).SetFloat64(f)
+	return fromBig(br)
+}
+
+// Parse parses a rational from a string.  Accepted forms are "a", "a/b" and
+// decimal notation such as "-3.25".
+func Parse(s string) (R, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Zero, fmt.Errorf("rat: empty string")
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, err := strconv.ParseInt(strings.TrimSpace(s[:i]), 10, 64)
+		if err != nil {
+			return Zero, fmt.Errorf("rat: bad numerator %q: %w", s[:i], err)
+		}
+		den, err := strconv.ParseInt(strings.TrimSpace(s[i+1:]), 10, 64)
+		if err != nil {
+			return Zero, fmt.Errorf("rat: bad denominator %q: %w", s[i+1:], err)
+		}
+		if den == 0 {
+			return Zero, fmt.Errorf("rat: zero denominator in %q", s)
+		}
+		return New(num, den), nil
+	}
+	if strings.ContainsAny(s, ".eE") {
+		br, ok := new(big.Rat).SetString(s)
+		if !ok {
+			return Zero, fmt.Errorf("rat: cannot parse %q", s)
+		}
+		return fromBig(br), nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		br, ok := new(big.Rat).SetString(s)
+		if !ok {
+			return Zero, fmt.Errorf("rat: cannot parse %q", s)
+		}
+		return fromBig(br), nil
+	}
+	return FromInt(n), nil
+}
+
+// MustParse is Parse that panics on error; intended for literals in tests and
+// examples.
+func MustParse(s string) R {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func fromBig(br *big.Rat) R {
+	// Try to demote to the int64 fast path.
+	if br.Num().IsInt64() && br.Denom().IsInt64() {
+		return New(br.Num().Int64(), br.Denom().Int64())
+	}
+	cp := new(big.Rat).Set(br)
+	return R{big: cp}
+}
+
+func (r R) toBig() *big.Rat {
+	if r.big != nil {
+		return r.big
+	}
+	den := r.den
+	if den == 0 {
+		den = 1 // zero value of R
+	}
+	return new(big.Rat).SetFrac64(r.num, den)
+}
+
+// isFast reports whether r uses the int64 representation.
+func (r R) isFast() bool { return r.big == nil }
+
+// normalised returns r with a zero-value denominator fixed up to 1.
+func (r R) normalised() R {
+	if r.big == nil && r.den == 0 {
+		return R{num: r.num, den: 1}
+	}
+	return r
+}
+
+// Num returns the numerator as a *big.Int (always freshly allocated).
+func (r R) Num() *big.Int { return new(big.Int).Set(r.toBig().Num()) }
+
+// Den returns the denominator as a *big.Int (always freshly allocated).
+func (r R) Den() *big.Int { return new(big.Int).Set(r.toBig().Denom()) }
+
+// Add returns r + s.
+func (r R) Add(s R) R {
+	r, s = r.normalised(), s.normalised()
+	if r.isFast() && s.isFast() {
+		// r.num/r.den + s.num/s.den = (r.num*s.den + s.num*r.den) / (r.den*s.den)
+		n1, ok1 := mul64(r.num, s.den)
+		n2, ok2 := mul64(s.num, r.den)
+		d, ok3 := mul64(r.den, s.den)
+		if ok1 && ok2 && ok3 {
+			n, ok4 := add64(n1, n2)
+			if ok4 {
+				return New(n, d)
+			}
+		}
+	}
+	return fromBig(new(big.Rat).Add(r.toBig(), s.toBig()))
+}
+
+// Sub returns r - s.
+func (r R) Sub(s R) R { return r.Add(s.Neg()) }
+
+// Neg returns -r.
+func (r R) Neg() R {
+	r = r.normalised()
+	if r.isFast() {
+		if r.num == math.MinInt64 {
+			return fromBig(new(big.Rat).Neg(r.toBig()))
+		}
+		return R{num: -r.num, den: r.den}
+	}
+	return fromBig(new(big.Rat).Neg(r.big))
+}
+
+// Mul returns r * s.
+func (r R) Mul(s R) R {
+	r, s = r.normalised(), s.normalised()
+	if r.isFast() && s.isFast() {
+		// Cross-reduce first to keep intermediates small.
+		g1 := gcd64(abs64(r.num), s.den)
+		g2 := gcd64(abs64(s.num), r.den)
+		rn, sd := r.num/g1, s.den/g1
+		sn, rd := s.num/g2, r.den/g2
+		n, ok1 := mul64(rn, sn)
+		d, ok2 := mul64(rd, sd)
+		if ok1 && ok2 {
+			return New(n, d)
+		}
+	}
+	return fromBig(new(big.Rat).Mul(r.toBig(), s.toBig()))
+}
+
+// Div returns r / s.  It panics if s is zero.
+func (r R) Div(s R) R {
+	if s.Sign() == 0 {
+		panic("rat: division by zero")
+	}
+	return r.Mul(s.Inv())
+}
+
+// Inv returns 1/r.  It panics if r is zero.
+func (r R) Inv() R {
+	r = r.normalised()
+	if r.Sign() == 0 {
+		panic("rat: inverse of zero")
+	}
+	if r.isFast() {
+		if r.num == math.MinInt64 {
+			return fromBig(new(big.Rat).Inv(r.toBig()))
+		}
+		if r.num < 0 {
+			return R{num: -r.den, den: -r.num}
+		}
+		return R{num: r.den, den: r.num}
+	}
+	return fromBig(new(big.Rat).Inv(r.big))
+}
+
+// Abs returns |r|.
+func (r R) Abs() R {
+	if r.Sign() < 0 {
+		return r.Neg()
+	}
+	return r.normalised()
+}
+
+// Sign returns -1, 0 or +1 according to the sign of r.
+func (r R) Sign() int {
+	r = r.normalised()
+	if r.isFast() {
+		switch {
+		case r.num > 0:
+			return 1
+		case r.num < 0:
+			return -1
+		default:
+			return 0
+		}
+	}
+	return r.big.Sign()
+}
+
+// Cmp compares r and s and returns -1, 0 or +1.
+func (r R) Cmp(s R) int {
+	r, s = r.normalised(), s.normalised()
+	if r.isFast() && s.isFast() {
+		// Compare r.num*s.den vs s.num*r.den, exactly.
+		a, ok1 := mul64(r.num, s.den)
+		b, ok2 := mul64(s.num, r.den)
+		if ok1 && ok2 {
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return r.toBig().Cmp(s.toBig())
+}
+
+// Equal reports whether r == s.
+func (r R) Equal(s R) bool { return r.Cmp(s) == 0 }
+
+// Less reports whether r < s.
+func (r R) Less(s R) bool { return r.Cmp(s) < 0 }
+
+// LessEq reports whether r <= s.
+func (r R) LessEq(s R) bool { return r.Cmp(s) <= 0 }
+
+// IsInt reports whether r is an integer.
+func (r R) IsInt() bool {
+	r = r.normalised()
+	if r.isFast() {
+		return r.den == 1
+	}
+	return r.big.IsInt()
+}
+
+// Float returns the nearest float64 approximation of r.
+func (r R) Float() float64 {
+	r = r.normalised()
+	if r.isFast() {
+		return float64(r.num) / float64(r.den)
+	}
+	f, _ := r.big.Float64()
+	return f
+}
+
+// Min returns the smaller of r and s.
+func Min(r, s R) R {
+	if r.Cmp(s) <= 0 {
+		return r.normalised()
+	}
+	return s.normalised()
+}
+
+// Max returns the larger of r and s.
+func Max(r, s R) R {
+	if r.Cmp(s) >= 0 {
+		return r.normalised()
+	}
+	return s.normalised()
+}
+
+// Mid returns the midpoint (r+s)/2.
+func Mid(r, s R) R { return r.Add(s).Mul(Half) }
+
+// String renders r as "a" or "a/b".
+func (r R) String() string {
+	r = r.normalised()
+	if r.isFast() {
+		if r.den == 1 {
+			return strconv.FormatInt(r.num, 10)
+		}
+		return strconv.FormatInt(r.num, 10) + "/" + strconv.FormatInt(r.den, 10)
+	}
+	return r.big.RatString()
+}
+
+// Key returns a canonical string key usable as a map key for exact equality.
+func (r R) Key() string { return r.String() }
+
+// --- small integer helpers -------------------------------------------------
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		if a == math.MinInt64 {
+			return math.MinInt64 // caller handles via big fallback
+		}
+		return -a
+	}
+	return a
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// mul64 multiplies with overflow detection.
+func mul64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	c := a * b
+	if c/b != a || (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, false
+	}
+	return c, true
+}
+
+// add64 adds with overflow detection.
+func add64(a, b int64) (int64, bool) {
+	c := a + b
+	if (b > 0 && c < a) || (b < 0 && c > a) {
+		return 0, false
+	}
+	return c, true
+}

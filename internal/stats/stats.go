@@ -1,0 +1,70 @@
+// Package stats computes the size and degree statistics reported in the
+// paper's practical-considerations section: raw data size (stored points ×
+// bytes per point), invariant size (cells × bytes per cell), their ratio, and
+// the lines-per-point degree distribution.
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/arrangement"
+	"repro/internal/invariant"
+	"repro/internal/spatial"
+)
+
+// Compression summarises one dataset in the paper's terms.
+type Compression struct {
+	Name          string
+	Features      int
+	Points        int
+	BytesPerPoint int
+	RawBytes      int
+	Cells         int
+	BytesPerCell  int
+	InvBytes      int
+	// Ratio is RawBytes / InvBytes (the paper reports "1/90", "1/300",
+	// "1/72" as the inverse).
+	Ratio float64
+	// AvgDegree and MaxDegree are the lines-per-point statistics.
+	AvgDegree float64
+	MaxDegree int
+}
+
+// Measure computes the compression summary of an instance, building its cell
+// complex once.
+func Measure(name string, inst *spatial.Instance, bytesPerPoint, bytesPerCell int) (Compression, error) {
+	cx, err := arrangement.Build(inst)
+	if err != nil {
+		return Compression{}, err
+	}
+	inv := invariant.FromComplex(cx)
+	c := Compression{
+		Name:          name,
+		Features:      inst.FeatureCount(),
+		Points:        inst.PointCount(),
+		BytesPerPoint: bytesPerPoint,
+		RawBytes:      inst.RawBytes(bytesPerPoint),
+		Cells:         inv.CellCount(),
+		BytesPerCell:  bytesPerCell,
+		InvBytes:      inv.InvariantBytes(bytesPerCell),
+		AvgDegree:     cx.Stats.AvgLinesPerPoint,
+		MaxDegree:     cx.Stats.MaxLinesPerPoint,
+	}
+	if c.InvBytes > 0 {
+		c.Ratio = float64(c.RawBytes) / float64(c.InvBytes)
+	}
+	return c, nil
+}
+
+// Row renders the compression summary as a table row matching the
+// EXPERIMENTS.md format.
+func (c Compression) Row() string {
+	return fmt.Sprintf("%-14s %8d %10d %12d %8d %12d %10.1f %8.2f %4d",
+		c.Name, c.Features, c.Points, c.RawBytes, c.Cells, c.InvBytes, c.Ratio, c.AvgDegree, c.MaxDegree)
+}
+
+// Header returns the table header matching Row.
+func Header() string {
+	return fmt.Sprintf("%-14s %8s %10s %12s %8s %12s %10s %8s %4s",
+		"dataset", "features", "points", "raw bytes", "cells", "inv bytes", "raw/inv", "avg°", "max°")
+}

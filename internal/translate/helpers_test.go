@@ -1,0 +1,21 @@
+package translate
+
+import (
+	"repro/internal/geom"
+)
+
+// Small geometric helpers shared by the tests in this package.
+
+func pt(x, y int64) geom.Point { return geom.Pt(x, y) }
+
+func regionRect(minX, minY, maxX, maxY int64) geom.Polygon {
+	return geom.Rect(minX, minY, maxX, maxY)
+}
+
+func triangleAt(x, y int64) geom.Polygon {
+	return geom.MustPolygon(geom.Pt(x, y), geom.Pt(x+4, y), geom.Pt(x+2, y+3))
+}
+
+func polylineAt(x, y int64) geom.Polyline {
+	return geom.MustPolyline(geom.Pt(x, y), geom.Pt(x+5, y), geom.Pt(x+5, y+5))
+}

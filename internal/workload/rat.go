@@ -1,0 +1,8 @@
+package workload
+
+import "repro/internal/rat"
+
+// ratR and ratNew keep the generator code concise.
+type ratR = rat.R
+
+func ratNew(num, den int64) rat.R { return rat.New(num, den) }

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/stats"
+)
+
+func TestLandUseDeterministicAndValid(t *testing.T) {
+	a, err := LandUse(DefaultLandUse(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LandUse(DefaultLandUse(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PointCount() != b.PointCount() || a.FeatureCount() != b.FeatureCount() {
+		t.Error("generator is not deterministic")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("invalid instance: %v", err)
+	}
+	if a.FeatureCount() != 8 {
+		t.Errorf("features = %d, want 8 parcels", a.FeatureCount())
+	}
+	if a.Schema().Size() != 9 {
+		t.Errorf("classes = %d, want 9", a.Schema().Size())
+	}
+	if _, err := LandUse(LandUseParams{}); err == nil {
+		t.Error("invalid parameters accepted")
+	}
+}
+
+func TestLandUseCompressionShape(t *testing.T) {
+	inst, err := LandUse(DefaultLandUse(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := stats.Measure("landuse", inst, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports a ratio around 90 for ground-occupancy data; the
+	// scaled-down generator must at least compress substantially.
+	if c.Ratio < 5 {
+		t.Errorf("compression ratio = %.1f, expected a substantial reduction", c.Ratio)
+	}
+	if c.MaxDegree < 3 {
+		t.Errorf("max degree = %d, expected junction vertices", c.MaxDegree)
+	}
+	if c.Points == 0 || c.Cells == 0 || c.Row() == "" || stats.Header() == "" {
+		t.Error("measurement incomplete")
+	}
+}
+
+func TestHydrographyAndCommune(t *testing.T) {
+	h, err := Hydrography(DefaultHydrography(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("hydrography invalid: %v", err)
+	}
+	if h.PointCount() == 0 {
+		t.Error("hydrography empty")
+	}
+	c, err := Commune(DefaultCommune(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FeatureCount() < 12 {
+		t.Errorf("commune parcels = %d, want >= 12", c.FeatureCount())
+	}
+	if _, err := Hydrography(HydrographyParams{Rivers: -1}); err == nil {
+		t.Error("invalid hydrography parameters accepted")
+	}
+}
+
+func TestNestedAndMultiComponent(t *testing.T) {
+	n, err := NestedRegions(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := invariant.MustCompute(n)
+	// Three annuli contribute six free loops plus one isolated point.
+	if got := inv.Components().Count(); got != 7 {
+		t.Errorf("components = %d, want 7", got)
+	}
+	m, err := MultiComponent(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := invariant.MustCompute(m).Components().Count(); got != 4 {
+		t.Errorf("multi-component count = %d, want 4", got)
+	}
+	if _, err := NestedRegions(0); err == nil {
+		t.Error("NestedRegions(0) should fail")
+	}
+	if _, err := MultiComponent(-1); err == nil {
+		t.Error("MultiComponent(-1) should fail")
+	}
+	if empty, err := MultiComponent(0); err != nil || empty.PointCount() != 0 {
+		t.Error("MultiComponent(0) should be an empty instance")
+	}
+}

@@ -1,0 +1,135 @@
+// Package topoinv is the public API of the topological-invariant spatial
+// database library, a reproduction of Segoufin & Vianu, "Querying Spatial
+// Databases via Topological Invariants".
+//
+// The typical workflow is:
+//
+//	schema := topoinv.MustSchema("P", "Q")
+//	inst := topoinv.MustBuild(schema, map[string]topoinv.Region{
+//	        "P": topoinv.Rect(0, 0, 10, 10),
+//	        "Q": topoinv.Rect(3, 3, 6, 6),
+//	})
+//	db, _ := topoinv.Open(inst)
+//	inv, _ := db.Invariant()                      // top(I)
+//	ok, _ := db.Ask(topoinv.Intersects("P", "Q"), // a topological query
+//	        topoinv.ViaInvariantFixpoint)         // answered on top(I)
+//
+// The heavy lifting lives in the internal packages (exact geometry, the
+// maximum topological cell decomposition, the relational/fixpoint engines,
+// Ehrenfeucht–Fraïssé machinery and the Section-4 translations); this package
+// re-exports the stable surface a downstream user needs.
+package topoinv
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/invariant"
+	"repro/internal/pointfo"
+	"repro/internal/region"
+	"repro/internal/spatial"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Re-exported core types.
+type (
+	// Schema is a spatial database schema (a finite set of region names).
+	Schema = spatial.Schema
+	// Instance is a spatial database instance.
+	Instance = spatial.Instance
+	// Region is a compact semi-linear region of the plane.
+	Region = region.Region
+	// Invariant is the topological invariant top(I).
+	Invariant = invariant.Invariant
+	// Database wraps an instance with its invariant and query evaluators.
+	Database = core.Database
+	// Strategy selects how topological queries are evaluated.
+	Strategy = core.Strategy
+	// Query is a topological query in the point language FO(P,<x,<y).
+	Query = pointfo.PointFormula
+	// Compression is the size/degree summary of a dataset.
+	Compression = stats.Compression
+)
+
+// Evaluation strategies (the paper's options (i)–(iv)).
+const (
+	Direct               = core.Direct
+	ViaInvariantFO       = core.ViaInvariantFO
+	ViaInvariantFixpoint = core.ViaInvariantFixpoint
+	ViaLinearized        = core.ViaLinearized
+)
+
+// Schema and instance construction.
+var (
+	// NewSchema creates a schema from region names.
+	NewSchema = spatial.NewSchema
+	// MustSchema is NewSchema panicking on error.
+	MustSchema = spatial.MustSchema
+	// Build creates an instance from a name→region map.
+	Build = spatial.Build
+	// MustBuild is Build panicking on error.
+	MustBuild = spatial.MustBuild
+	// Open prepares a Database for an instance.
+	Open = core.Open
+	// ComputeInvariant computes top(I) directly.
+	ComputeInvariant = invariant.Compute
+	// Equivalent reports topological equivalence of two instances.
+	Equivalent = core.TopologicallyEquivalent
+	// Measure computes the compression summary of an instance.
+	Measure = stats.Measure
+)
+
+// Region constructors.
+var (
+	// Rect is a filled axis-aligned rectangle.
+	Rect = region.Rect
+	// Annulus is a filled rectangle with a rectangular hole.
+	Annulus = region.Annulus
+	// FromPolygon wraps a simple polygon as a region.
+	FromPolygon = region.FromPolygon
+	// FromPolyline wraps a polyline as a 1-dimensional region.
+	FromPolyline = region.FromPolyline
+	// FromPoint wraps a point as a 0-dimensional region.
+	FromPoint = region.FromPoint
+	// Pt builds a point with integer coordinates.
+	Pt = geom.Pt
+	// MustPolygon builds a polygon from points.
+	MustPolygon = geom.MustPolygon
+	// MustPolyline builds a polyline from points.
+	MustPolyline = geom.MustPolyline
+)
+
+// Workload generators (synthetic cartographic data shaped like the datasets
+// measured in the paper).
+var (
+	LandUse            = workload.LandUse
+	DefaultLandUse     = workload.DefaultLandUse
+	Hydrography        = workload.Hydrography
+	DefaultHydrography = workload.DefaultHydrography
+	Commune            = workload.Commune
+	DefaultCommune     = workload.DefaultCommune
+	NestedRegions      = workload.NestedRegions
+	MultiComponent     = workload.MultiComponent
+)
+
+// Intersects is the topological query "regions p and q share a point".
+func Intersects(p, q string) Query { return pointfo.QueryIntersect(p, q) }
+
+// Contained is the topological query "region p is contained in region q".
+func Contained(p, q string) Query { return pointfo.QueryContained(p, q) }
+
+// BoundaryOnlyIntersection is the paper's running example: "p and q intersect
+// only on their boundaries".
+func BoundaryOnlyIntersection(p, q string) Query {
+	return pointfo.QueryBoundaryOnlyIntersection(p, q)
+}
+
+// NonEmpty is the query "region p has at least one point".
+func NonEmpty(p string) Query {
+	return pointfo.PExists{Vars: []string{"u"}, Body: pointfo.In{Region: p, Var: "u"}}
+}
+
+// HasInterior is the query "region p has a two-dimensional part".
+func HasInterior(p string) Query {
+	return pointfo.PExists{Vars: []string{"u"}, Body: pointfo.InInterior{Region: p, Var: "u"}}
+}

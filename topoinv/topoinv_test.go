@@ -1,0 +1,75 @@
+package topoinv_test
+
+import (
+	"testing"
+
+	"repro/topoinv"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	schema := topoinv.MustSchema("P", "Q")
+	inst := topoinv.MustBuild(schema, map[string]topoinv.Region{
+		"P": topoinv.Rect(0, 0, 10, 10),
+		"Q": topoinv.Rect(3, 3, 6, 6),
+	})
+	db, err := topoinv.Open(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := db.Invariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.CellCount() == 0 {
+		t.Error("invariant empty")
+	}
+	for _, s := range []topoinv.Strategy{topoinv.Direct, topoinv.ViaInvariantFixpoint, topoinv.ViaLinearized} {
+		ok, err := db.Ask(topoinv.Intersects("P", "Q"), s)
+		if err != nil {
+			t.Errorf("strategy %v: %v", s, err)
+			continue
+		}
+		if !ok {
+			t.Errorf("strategy %v: nested rectangles should intersect", s)
+		}
+	}
+	if ok, _ := db.Ask(topoinv.Contained("Q", "P"), topoinv.Direct); !ok {
+		t.Error("Q should be contained in P")
+	}
+	if ok, _ := db.Ask(topoinv.BoundaryOnlyIntersection("P", "Q"), topoinv.Direct); ok {
+		t.Error("interiors overlap, so boundary-only intersection should fail")
+	}
+	eq, err := topoinv.Equivalent(inst, inst)
+	if err != nil || !eq {
+		t.Error("instance should be equivalent to itself")
+	}
+}
+
+func TestPublicWorkloadsAndMeasure(t *testing.T) {
+	inst, err := topoinv.LandUse(topoinv.DefaultLandUse(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := topoinv.Measure("landuse", inst, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Ratio <= 1 {
+		t.Errorf("expected compression, got ratio %.2f", c.Ratio)
+	}
+	single, err := topoinv.NestedRegions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := topoinv.Open(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := db.Ask(topoinv.HasInterior("P"), topoinv.ViaInvariantFO)
+	if err != nil || !ok {
+		t.Errorf("FO-on-invariant strategy failed: %v %v", ok, err)
+	}
+	if ok, _ := db.Ask(topoinv.NonEmpty("P"), topoinv.Direct); !ok {
+		t.Error("NonEmpty should hold")
+	}
+}
