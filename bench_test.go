@@ -6,6 +6,8 @@
 package repro_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/arrangement"
@@ -185,6 +187,149 @@ func BenchmarkF9CycleEquivalence(b *testing.B) {
 			b.Fatal("identical structures should be isomorphic")
 		}
 	}
+}
+
+// BenchmarkEngineInvariant compares a cold invariant computation (arrangement
+// built from scratch every iteration) against the engine's content-addressed
+// cache-hit path (hash the encoded instance, look up the invariant — no
+// arrangement work).  The cached path should be orders of magnitude faster.
+func BenchmarkEngineInvariant(b *testing.B) {
+	inst, err := topoinv.LandUse(topoinv.DefaultLandUse(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := topoinv.NewEngine()
+			if _, err := e.Invariant(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		e := topoinv.NewEngine()
+		if _, err := e.Invariant(inst); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Invariant(inst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := e.Stats()
+		if st.CacheHits == 0 {
+			b.Fatal("cached path never hit the cache")
+		}
+	})
+}
+
+// BenchmarkEngineBatch measures batch-query throughput (queries/sec) across
+// worker-pool sizes.  Each iteration evaluates one batch of fixpoint queries
+// over three distinct (cached) instances.
+func BenchmarkEngineBatch(b *testing.B) {
+	var instances []*topoinv.Instance
+	for levels := 2; levels <= 4; levels++ {
+		inst, err := topoinv.NestedRegions(levels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instances = append(instances, inst)
+	}
+	const batchSize = 64
+	reqs := make([]topoinv.BatchRequest, batchSize)
+	for i := range reqs {
+		reqs[i] = topoinv.BatchRequest{
+			Instance: instances[i%len(instances)],
+			Query:    topoinv.HasInterior("P"),
+		}
+	}
+	workers := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			e := topoinv.NewEngine(topoinv.WithWorkers(w))
+			// Warm the invariant cache so the benchmark isolates query
+			// evaluation throughput from the one-time arrangement cost.
+			for _, inst := range instances {
+				if _, err := e.Invariant(inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := e.Batch(reqs, topoinv.ViaInvariantFixpoint)
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.StopTimer()
+			qps := float64(b.N*batchSize) / b.Elapsed().Seconds()
+			b.ReportMetric(qps, "queries/sec")
+		})
+	}
+}
+
+// BenchmarkCodec measures the binary codec itself: encode/decode throughput
+// for a dense polygonal instance and its invariant, reporting the measured
+// serialized sizes the compression claim is judged on.
+func BenchmarkCodec(b *testing.B) {
+	inst, err := topoinv.LandUse(topoinv.DefaultLandUse(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inv, err := topoinv.ComputeInvariant(inst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode-instance", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			data, err := topoinv.Encode(inst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(data)
+		}
+		b.ReportMetric(float64(n), "bytes")
+	})
+	b.Run("decode-instance", func(b *testing.B) {
+		data, err := topoinv.Encode(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := topoinv.Decode(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-invariant", func(b *testing.B) {
+		var n int
+		for i := 0; i < b.N; i++ {
+			data, err := topoinv.EncodeInvariant(inv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(data)
+		}
+		b.ReportMetric(float64(n), "bytes")
+	})
+	b.Run("decode-invariant", func(b *testing.B) {
+		data, err := topoinv.EncodeInvariant(inv)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := topoinv.DecodeInvariant(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationRatVsFloat compares the exact-rational arrangement against

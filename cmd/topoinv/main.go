@@ -1,23 +1,78 @@
-// Command topoinv is a small CLI around the library: it generates one of the
-// built-in workloads, computes its topological invariant, prints the
-// compression statistics of the paper's practical-considerations section and
-// optionally answers a built-in topological query with a chosen strategy.
+// Command topoinv is the CLI around the library.  It has four subcommands:
+//
+//	topoinv measure -workload landuse -scale 1 -strategy fixpoint
+//	    generate a built-in workload, print the compression statistics of the
+//	    paper's practical-considerations section (estimated and measured
+//	    serialized bytes) and answer a built-in query with a chosen strategy;
+//	topoinv encode -workload landuse -scale 1 -o inst.tinv [-invariant]
+//	    serialize a workload instance (or its invariant) to the versioned
+//	    binary format;
+//	topoinv decode -i inst.tinv
+//	    deserialize a blob and print a summary;
+//	topoinv serve -addr :8080
+//	    run the concurrent query engine behind a small HTTP JSON API.
+//
+// Running with no subcommand behaves like "measure" (the historical CLI).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/stats"
 	"repro/topoinv"
 )
 
 func main() {
-	workloadName := flag.String("workload", "landuse", "workload: landuse | hydrography | commune | nested | multicomponent")
-	scale := flag.Int("scale", 1, "workload scale factor")
-	strategy := flag.String("strategy", "direct", "query strategy: direct | fo | fixpoint | linearized")
-	flag.Parse()
+	args := os.Args[1:]
+	cmd := "measure"
+	if len(args) > 0 {
+		switch {
+		case args[0] == "measure" || args[0] == "encode" || args[0] == "decode" || args[0] == "serve":
+			cmd, args = args[0], args[1:]
+		case args[0] == "-h" || args[0] == "--help" || args[0] == "help":
+			usage()
+			return
+		case len(args[0]) > 0 && args[0][0] != '-':
+			fmt.Fprintf(os.Stderr, "topoinv: unknown command %q\n\n", args[0])
+			usage()
+			os.Exit(2)
+		}
+	}
+	switch cmd {
+	case "measure":
+		runMeasure(args)
+	case "encode":
+		runEncode(args)
+	case "decode":
+		runDecode(args)
+	case "serve":
+		runServe(args)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: topoinv <command> [flags]
+
+commands:
+  measure   compute invariant + compression statistics for a workload (default)
+  encode    serialize a workload instance or invariant to binary
+  decode    read a binary blob and print a summary
+  serve     run the query engine as an HTTP JSON service
+
+Run "topoinv <command> -h" for per-command flags.
+`)
+}
+
+func runMeasure(args []string) {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	workloadName := fs.String("workload", "landuse", "workload: landuse | hydrography | commune | nested | multicomponent")
+	scale := fs.Int("scale", 1, "workload scale factor")
+	strategy := fs.String("strategy", "direct", "query strategy: direct | fo | fixpoint | linearized")
+	fs.Parse(args)
 
 	inst, bpp, bpc := buildWorkload(*workloadName, *scale)
 	c, err := topoinv.Measure(*workloadName, inst, bpp, bpc)
@@ -26,6 +81,9 @@ func main() {
 	}
 	fmt.Println(stats.Header())
 	fmt.Println(c.Row())
+	fmt.Println()
+	fmt.Println(stats.MeasuredHeader())
+	fmt.Println(c.MeasuredRow())
 
 	db, err := topoinv.Open(inst)
 	if err != nil {
@@ -33,12 +91,10 @@ func main() {
 	}
 	name := inst.Schema().Names()[0]
 	query := topoinv.NonEmpty(name)
-	s := map[string]topoinv.Strategy{
-		"direct":     topoinv.Direct,
-		"fo":         topoinv.ViaInvariantFO,
-		"fixpoint":   topoinv.ViaInvariantFixpoint,
-		"linearized": topoinv.ViaLinearized,
-	}[*strategy]
+	s, ok := strategies[*strategy]
+	if !ok {
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
 	ans, err := db.Ask(query, s)
 	if err != nil {
 		log.Fatalf("query with strategy %s: %v", *strategy, err)
@@ -46,36 +102,105 @@ func main() {
 	fmt.Printf("query %s with strategy %s: %v\n", query, s, ans)
 }
 
-func buildWorkload(name string, scale int) (*topoinv.Instance, int, int) {
-	switch name {
-	case "landuse":
-		inst, err := topoinv.LandUse(topoinv.DefaultLandUse(scale))
-		fatal(err)
-		return inst, 20, 3
-	case "hydrography":
-		inst, err := topoinv.Hydrography(topoinv.DefaultHydrography(scale))
-		fatal(err)
-		return inst, 20, 2
-	case "commune":
-		inst, err := topoinv.Commune(topoinv.DefaultCommune(scale))
-		fatal(err)
-		return inst, 18, 2
-	case "nested":
-		inst, err := topoinv.NestedRegions(scale + 1)
-		fatal(err)
-		return inst, 20, 2
-	case "multicomponent":
-		inst, err := topoinv.MultiComponent(scale + 2)
-		fatal(err)
-		return inst, 20, 2
-	default:
-		log.Fatalf("unknown workload %q", name)
-		return nil, 0, 0
-	}
+var strategies = map[string]topoinv.Strategy{
+	"direct":     topoinv.Direct,
+	"fo":         topoinv.ViaInvariantFO,
+	"fixpoint":   topoinv.ViaInvariantFixpoint,
+	"linearized": topoinv.ViaLinearized,
 }
 
-func fatal(err error) {
+func runEncode(args []string) {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	workloadName := fs.String("workload", "landuse", "workload to generate")
+	scale := fs.Int("scale", 1, "workload scale factor")
+	out := fs.String("o", "", "output file (default stdout)")
+	asInvariant := fs.Bool("invariant", false, "encode the computed invariant instead of the instance")
+	fs.Parse(args)
+
+	inst, _, _ := buildWorkload(*workloadName, *scale)
+	var data []byte
+	var err error
+	if *asInvariant {
+		inv, cerr := topoinv.ComputeInvariant(inst)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		data, err = topoinv.EncodeInvariant(inv)
+	} else {
+		data, err = topoinv.Encode(inst)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d bytes to %s\n", len(data), *out)
+}
+
+func runDecode(args []string) {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	in := fs.String("i", "", "input file (default stdin)")
+	fs.Parse(args)
+
+	var data []byte
+	var err error
+	if *in == "" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Dispatch on the payload-kind byte of the header so errors come from
+	// the decoder that actually matches the blob.
+	kind, err := topoinv.PayloadKind(data)
+	if err != nil {
+		log.Fatalf("invalid blob: %v", err)
+	}
+	if kind == topoinv.KindInvariant {
+		inv, err := topoinv.DecodeInvariant(data)
+		if err != nil {
+			log.Fatalf("invalid invariant blob: %v", err)
+		}
+		fmt.Printf("invariant: %s\n", inv)
+		fmt.Printf("schema:    %v\n", inv.Schema.Names())
+		return
+	}
+	inst, err := topoinv.Decode(data)
+	if err != nil {
+		log.Fatalf("invalid instance blob: %v", err)
+	}
+	key, err := topoinv.InstanceKey(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance: %s\n", inst.Summarise())
+	fmt.Printf("schema:   %v\n", inst.Schema().Names())
+	fmt.Printf("key:      %s\n", key)
+}
+
+// buildWorkload generates a workload (shared with the serve subcommand) and
+// returns it with the paper's bytes-per-point / bytes-per-cell accounting
+// (Sequoia land use: 20/3, IGN commune: 18/2, others 20/2).
+func buildWorkload(name string, scale int) (*topoinv.Instance, int, int) {
+	inst, err := generateWorkload(name, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bpp, bpc := 20, 2
+	switch name {
+	case "landuse":
+		bpc = 3
+	case "commune":
+		bpp = 18
+	}
+	return inst, bpp, bpc
 }

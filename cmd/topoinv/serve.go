@@ -1,0 +1,384 @@
+// The serve subcommand exposes the concurrent query engine as a small HTTP
+// JSON API:
+//
+//	POST /v1/instances          load an instance: {"workload":"landuse","scale":1}
+//	                            or {"data":"<base64 of a topoinv encode blob>"};
+//	                            returns the content-addressed instance id
+//	GET  /v1/instances          list loaded instances
+//	GET  /v1/instances/{id}/invariant
+//	                            compute (or fetch from cache) the invariant;
+//	                            add ?format=binary for the encoded blob
+//	POST /v1/ask                one query: {"id":"…","query":"intersects",
+//	                            "regions":["P","Q"],"strategy":"fixpoint"}
+//	POST /v1/batch              many queries over the worker pool:
+//	                            {"strategy":"fixpoint","requests":[{…},…]}
+//	GET  /v1/stats              engine cache + per-strategy counters
+package main
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+
+	"repro/topoinv"
+)
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheCap := fs.Int("cache", 128, "invariant cache capacity (entries)")
+	workers := fs.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
+	fs.Parse(args)
+
+	opts := []topoinv.EngineOption{topoinv.WithCacheCapacity(*cacheCap)}
+	if *workers > 0 {
+		opts = append(opts, topoinv.WithWorkers(*workers))
+	}
+	srv := newServer(topoinv.NewEngine(opts...))
+	log.Printf("topoinv engine listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// server is the HTTP front-end: a registry of loaded instances (keyed by
+// content address) in front of the shared query engine.
+type server struct {
+	engine *topoinv.Engine
+
+	mu        sync.RWMutex
+	instances map[string]*topoinv.Instance
+}
+
+func newServer(e *topoinv.Engine) *server {
+	return &server{engine: e, instances: make(map[string]*topoinv.Instance)}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/instances", s.handleLoad)
+	mux.HandleFunc("GET /v1/instances", s.handleList)
+	mux.HandleFunc("DELETE /v1/instances/{id}", s.handleUnload)
+	mux.HandleFunc("GET /v1/instances/{id}/invariant", s.handleInvariant)
+	mux.HandleFunc("POST /v1/ask", s.handleAsk)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *server) get(id string) (*topoinv.Instance, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	inst, ok := s.instances[id]
+	return inst, ok
+}
+
+type loadRequest struct {
+	// Workload + Scale generate a built-in workload…
+	Workload string `json:"workload,omitempty"`
+	Scale    int    `json:"scale,omitempty"`
+	// …or Data carries a base64-encoded binary instance blob.
+	Data string `json:"data,omitempty"`
+}
+
+type loadResponse struct {
+	ID       string `json:"id"`
+	Regions  int    `json:"regions"`
+	Features int    `json:"features"`
+	Points   int    `json:"points"`
+}
+
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var inst *topoinv.Instance
+	switch {
+	case req.Data != "":
+		raw, err := base64.StdEncoding.DecodeString(req.Data)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad base64 data: %v", err)
+			return
+		}
+		if inst, err = topoinv.Decode(raw); err != nil {
+			httpError(w, http.StatusBadRequest, "bad instance blob: %v", err)
+			return
+		}
+	case req.Workload != "":
+		scale := req.Scale
+		if scale < 1 {
+			scale = 1
+		}
+		var err error
+		if inst, err = generateWorkload(req.Workload, scale); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "provide either workload or data")
+		return
+	}
+	id, err := topoinv.InstanceKey(inst)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.instances[id] = inst
+	s.mu.Unlock()
+	sum := inst.Summarise()
+	writeJSON(w, http.StatusOK, loadResponse{ID: id, Regions: sum.Regions, Features: sum.Features, Points: sum.Points})
+}
+
+func generateWorkload(name string, scale int) (*topoinv.Instance, error) {
+	switch name {
+	case "landuse":
+		return topoinv.LandUse(topoinv.DefaultLandUse(scale))
+	case "hydrography":
+		return topoinv.Hydrography(topoinv.DefaultHydrography(scale))
+	case "commune":
+		return topoinv.Commune(topoinv.DefaultCommune(scale))
+	case "nested":
+		return topoinv.NestedRegions(scale + 1)
+	case "multicomponent":
+		return topoinv.MultiComponent(scale + 2)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+// handleUnload removes an instance from the registry (the invariant may stay
+// in the engine's LRU cache until evicted).  Without this the registry — the
+// largest objects the server holds — would only ever grow.
+func (s *server) handleUnload(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.instances[id]
+	delete(s.instances, id)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown instance id")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]loadResponse, 0, len(s.instances))
+	for id, inst := range s.instances {
+		sum := inst.Summarise()
+		out = append(out, loadResponse{ID: id, Regions: sum.Regions, Features: sum.Features, Points: sum.Points})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+type invariantResponse struct {
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Faces    int    `json:"faces"`
+	Cells    int    `json:"cells"`
+	Cached   bool   `json:"cached"`
+	Data     string `json:"data,omitempty"`
+}
+
+func (s *server) handleInvariant(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown instance id")
+		return
+	}
+	_, cached := s.engine.CachedInvariant(inst)
+	inv, err := s.engine.Invariant(inst)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := invariantResponse{
+		Vertices: len(inv.Vertices),
+		Edges:    len(inv.Edges),
+		Faces:    len(inv.Faces),
+		Cells:    inv.CellCount(),
+		Cached:   cached,
+	}
+	if r.URL.Query().Get("format") == "binary" {
+		data, err := topoinv.EncodeInvariant(inv)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp.Data = base64.StdEncoding.EncodeToString(data)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type askRequest struct {
+	ID       string   `json:"id"`
+	Query    string   `json:"query"`
+	Regions  []string `json:"regions"`
+	Strategy string   `json:"strategy,omitempty"`
+}
+
+type askResponse struct {
+	Answer   bool   `json:"answer"`
+	CacheHit bool   `json:"cache_hit"`
+	Latency  int64  `json:"latency_ns"`
+	Strategy string `json:"strategy"`
+}
+
+// buildQuery resolves the named query forms the API accepts.
+func buildQuery(name string, regions []string) (topoinv.Query, error) {
+	need := func(n int) error {
+		if len(regions) != n {
+			return fmt.Errorf("query %q needs %d region name(s), got %d", name, n, len(regions))
+		}
+		return nil
+	}
+	switch name {
+	case "nonempty":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return topoinv.NonEmpty(regions[0]), nil
+	case "hasinterior":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return topoinv.HasInterior(regions[0]), nil
+	case "intersects":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return topoinv.Intersects(regions[0], regions[1]), nil
+	case "contained":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return topoinv.Contained(regions[0], regions[1]), nil
+	case "boundaryonly":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return topoinv.BoundaryOnlyIntersection(regions[0], regions[1]), nil
+	default:
+		return nil, fmt.Errorf("unknown query %q (want nonempty | hasinterior | intersects | contained | boundaryonly)", name)
+	}
+}
+
+func parseStrategy(name string) (topoinv.Strategy, error) {
+	if name == "" {
+		return topoinv.ViaInvariantFixpoint, nil
+	}
+	s, ok := strategies[name]
+	if !ok {
+		return 0, fmt.Errorf("unknown strategy %q (want direct | fo | fixpoint | linearized)", name)
+	}
+	return s, nil
+}
+
+func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	var req askRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	inst, ok := s.get(req.ID)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown instance id")
+		return
+	}
+	q, err := buildQuery(req.Query, req.Regions)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	strat, err := parseStrategy(req.Strategy)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res := s.engine.AskResult(inst, q, strat)
+	if res.Err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, askResponse{
+		Answer:   res.Answer,
+		CacheHit: res.CacheHit,
+		Latency:  res.Latency.Nanoseconds(),
+		Strategy: strat.String(),
+	})
+}
+
+type batchRequest struct {
+	Strategy string       `json:"strategy,omitempty"`
+	Requests []askRequest `json:"requests"`
+}
+
+type batchItemResponse struct {
+	Answer   bool   `json:"answer"`
+	Error    string `json:"error,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
+	Latency  int64  `json:"latency_ns"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	strat, err := parseStrategy(req.Strategy)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	reqs := make([]topoinv.BatchRequest, len(req.Requests))
+	for i, a := range req.Requests {
+		inst, ok := s.get(a.ID)
+		if !ok {
+			httpError(w, http.StatusNotFound, "request %d: unknown instance id", i)
+			return
+		}
+		q, err := buildQuery(a.Query, a.Regions)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "request %d: %v", i, err)
+			return
+		}
+		reqs[i] = topoinv.BatchRequest{Instance: inst, Query: q}
+	}
+	results := s.engine.Batch(reqs, strat)
+	out := make([]batchItemResponse, len(results))
+	for i, res := range results {
+		out[i] = batchItemResponse{
+			Answer:   res.Answer,
+			CacheHit: res.CacheHit,
+			Latency:  res.Latency.Nanoseconds(),
+		}
+		if res.Err != nil {
+			out[i].Error = res.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("serve: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

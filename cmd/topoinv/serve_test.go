@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/topoinv"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(topoinv.NewEngine()).routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestServeWorkflow(t *testing.T) {
+	ts := testServer(t)
+
+	// Load a generated workload.
+	var loaded loadResponse
+	if resp := postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "nested", Scale: 2}, &loaded); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: status %d", resp.StatusCode)
+	}
+	if loaded.ID == "" || loaded.Points == 0 {
+		t.Fatalf("load: bad response %+v", loaded)
+	}
+
+	// First invariant fetch computes, second is served from the cache.
+	var inv1, inv2 invariantResponse
+	getJSON(t, fmt.Sprintf("%s/v1/instances/%s/invariant", ts.URL, loaded.ID), &inv1)
+	getJSON(t, fmt.Sprintf("%s/v1/instances/%s/invariant", ts.URL, loaded.ID), &inv2)
+	if inv1.Cached {
+		t.Error("first invariant fetch reported a cache hit")
+	}
+	if !inv2.Cached {
+		t.Error("second invariant fetch missed the cache")
+	}
+	if inv1.Cells == 0 || inv1.Cells != inv2.Cells {
+		t.Errorf("cell counts %d vs %d", inv1.Cells, inv2.Cells)
+	}
+
+	// The binary export decodes back to a valid invariant.
+	var withData invariantResponse
+	getJSON(t, fmt.Sprintf("%s/v1/instances/%s/invariant?format=binary", ts.URL, loaded.ID), &withData)
+	raw, err := base64.StdEncoding.DecodeString(withData.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topoinv.DecodeInvariant(raw); err != nil {
+		t.Fatalf("exported invariant blob does not decode: %v", err)
+	}
+
+	// Ask a single query.
+	var ans askResponse
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Query: "nonempty", Regions: []string{"P"}, Strategy: "fixpoint"}, &ans); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask: status %d", resp.StatusCode)
+	}
+	if !ans.Answer || !ans.CacheHit {
+		t.Errorf("ask: %+v, want answer=true cache_hit=true", ans)
+	}
+
+	// Batch over the worker pool.
+	var batch []batchItemResponse
+	breq := batchRequest{Strategy: "fixpoint"}
+	for i := 0; i < 8; i++ {
+		breq.Requests = append(breq.Requests, askRequest{ID: loaded.ID, Query: "hasinterior", Regions: []string{"P"}})
+	}
+	if resp := postJSON(t, ts.URL+"/v1/batch", breq, &batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	if len(batch) != 8 {
+		t.Fatalf("batch: %d results", len(batch))
+	}
+	for i, r := range batch {
+		if r.Error != "" || !r.Answer {
+			t.Errorf("batch item %d: %+v", i, r)
+		}
+	}
+
+	// Stats reflect the traffic.
+	var st topoinv.EngineStats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.CacheHits == 0 || st.CacheMisses == 0 {
+		t.Errorf("stats: %+v, want nonzero hits and misses", st)
+	}
+	if len(st.Strategies) == 0 {
+		t.Error("stats: no per-strategy counters")
+	}
+}
+
+func TestServeLoadEncodedInstance(t *testing.T) {
+	ts := testServer(t)
+	inst, err := topoinv.NestedRegions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := topoinv.Encode(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loaded loadResponse
+	if resp := postJSON(t, ts.URL+"/v1/instances", loadRequest{Data: base64.StdEncoding.EncodeToString(data)}, &loaded); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: status %d", resp.StatusCode)
+	}
+	want, err := topoinv.InstanceKey(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ID != want {
+		t.Errorf("content address %s, want %s", loaded.ID, want)
+	}
+}
+
+func TestServeUnload(t *testing.T) {
+	ts := testServer(t)
+	var loaded loadResponse
+	postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "nested", Scale: 1}, &loaded)
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/instances/"+loaded.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if resp2 := getJSON(t, ts.URL+"/v1/instances/"+loaded.ID+"/invariant", nil); resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("deleted instance still served: status %d", resp2.StatusCode)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double delete: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeBadRegionName checks that a query against a region the instance
+// does not have comes back as an HTTP error, not a crashed worker.
+func TestServeBadRegionName(t *testing.T) {
+	ts := testServer(t)
+	var loaded loadResponse
+	postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "nested", Scale: 1}, &loaded)
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Query: "nonempty", Regions: []string{"Z"}}, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown region ask: status %d, want 422", resp.StatusCode)
+	}
+	var batch []batchItemResponse
+	breq := batchRequest{Requests: []askRequest{{ID: loaded.ID, Query: "nonempty", Regions: []string{"Z"}}}}
+	if resp := postJSON(t, ts.URL+"/v1/batch", breq, &batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	if len(batch) != 1 || batch[0].Error == "" {
+		t.Errorf("batch with unknown region: %+v, want per-item error", batch)
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	ts := testServer(t)
+	if resp := postJSON(t, ts.URL+"/v1/instances", loadRequest{}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty load: status %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "nope"}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown workload: status %d, want 400", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/instances/deadbeef/invariant", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: "deadbeef", Query: "nonempty", Regions: []string{"P"}}, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("ask unknown id: status %d, want 404", resp.StatusCode)
+	}
+
+	var loaded loadResponse
+	postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "nested", Scale: 1}, &loaded)
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Query: "nope", Regions: []string{"P"}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown query: status %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Query: "intersects", Regions: []string{"P"}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("arity mismatch: status %d, want 400", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Query: "nonempty", Regions: []string{"P"}, Strategy: "nope"}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown strategy: status %d, want 400", resp.StatusCode)
+	}
+}

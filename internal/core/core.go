@@ -70,6 +70,20 @@ func Open(inst *spatial.Instance) (*Database, error) {
 	return &Database{inst: inst}, nil
 }
 
+// OpenWith prepares a database seeded with an already-computed invariant, so
+// invariant-based strategies skip the arrangement construction entirely.  The
+// caller is responsible for inv actually being top(inst) — the engine's
+// content-addressed cache guarantees this by keying invariants on the hash of
+// the encoded instance.  A nil inv behaves like Open.
+func OpenWith(inst *spatial.Instance, inv *invariant.Invariant) (*Database, error) {
+	db, err := Open(inst)
+	if err != nil {
+		return nil, err
+	}
+	db.inv = inv
+	return db, nil
+}
+
 // Instance returns the underlying spatial instance.
 func (db *Database) Instance() *spatial.Instance { return db.inst }
 

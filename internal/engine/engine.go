@@ -1,0 +1,405 @@
+// Package engine is a concurrent query-evaluation service over the
+// paper's pipeline: it wraps core.Database with a content-addressed
+// invariant cache and a worker-pool batch evaluator.
+//
+// The cache is the systems counterpart of the paper's central economy —
+// top(I) is much smaller than I and answers every topological query, so it is
+// worth computing once and reusing.  Instances are addressed by the SHA-256
+// hash of their deterministic binary encoding (package codec): two
+// structurally identical instances share one cached invariant no matter how
+// they were built.  Entries are bounded by an LRU policy, and concurrent
+// requests for the same uncached instance are deduplicated singleflight-style
+// so the arrangement is built exactly once.
+//
+// Invariants are immutable after construction, so a cached invariant may be
+// shared by any number of concurrent queries; each query gets its own
+// core.Database (whose lazy evaluator state is not concurrency-safe), seeded
+// with the shared invariant via core.OpenWith so that cache hits do no
+// arrangement work.
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/pointfo"
+	"repro/internal/spatial"
+)
+
+// DefaultCacheCapacity bounds the invariant cache when no option is given.
+const DefaultCacheCapacity = 128
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithCacheCapacity bounds the number of cached invariants (LRU eviction).
+// Values < 1 are treated as 1.
+func WithCacheCapacity(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.capacity = n
+	}
+}
+
+// WithWorkers sets the worker-pool size used by Batch.  Values < 1 are
+// treated as 1.  The default is runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.workers = n
+	}
+}
+
+// Engine is a concurrent topological query engine.  All methods are safe for
+// concurrent use.
+type Engine struct {
+	capacity int
+	workers  int
+
+	mu       sync.Mutex
+	lru      *list.List // of *entry, front = most recently used
+	cache    map[string]*list.Element
+	inflight map[string]*call
+
+	// keyMemo memoizes content addresses per instance pointer, so repeated
+	// queries against the same *spatial.Instance do not re-serialize the
+	// geometry on every cache lookup.  Instances handed to the engine must
+	// not be mutated afterwards (the engine's whole premise — content
+	// addressing — assumes immutable content).  The memo is reset when it
+	// outgrows its bound so it cannot pin arbitrarily many instances.
+	keyMu   sync.Mutex
+	keyMemo map[*spatial.Instance]string
+
+	hits      uint64
+	misses    uint64
+	dedups    uint64
+	evictions uint64
+
+	strat [core.ViaLinearized + 1]stratCounters
+}
+
+type entry struct {
+	key string
+	inv *invariant.Invariant
+}
+
+// call is an in-flight invariant computation other goroutines can wait on.
+type call struct {
+	done chan struct{}
+	inv  *invariant.Invariant
+	err  error
+}
+
+type stratCounters struct {
+	queries uint64
+	errors  uint64
+	latency time.Duration
+}
+
+// New creates an engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		capacity: DefaultCacheCapacity,
+		workers:  runtime.GOMAXPROCS(0),
+		lru:      list.New(),
+		cache:    make(map[string]*list.Element),
+		inflight: make(map[string]*call),
+		keyMemo:  make(map[*spatial.Instance]string),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// InstanceKey returns the content address of an instance: the hex SHA-256 of
+// its deterministic binary encoding.
+func InstanceKey(inst *spatial.Instance) (string, error) {
+	data, err := codec.EncodeInstance(inst)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Invariant returns top(inst), computing it at most once per instance content
+// and serving repeats from the cache.
+func (e *Engine) Invariant(inst *spatial.Instance) (*invariant.Invariant, error) {
+	inv, _, err := e.invariant(inst)
+	return inv, err
+}
+
+// key returns the memoized content address of the instance, computing and
+// caching it on first use.
+func (e *Engine) key(inst *spatial.Instance) (string, error) {
+	e.keyMu.Lock()
+	k, ok := e.keyMemo[inst]
+	e.keyMu.Unlock()
+	if ok {
+		return k, nil
+	}
+	k, err := InstanceKey(inst)
+	if err != nil {
+		return "", err
+	}
+	e.keyMu.Lock()
+	if len(e.keyMemo) >= 4*e.capacity {
+		e.keyMemo = make(map[*spatial.Instance]string)
+	}
+	e.keyMemo[inst] = k
+	e.keyMu.Unlock()
+	return k, nil
+}
+
+// CachedInvariant returns the cached invariant for the instance without
+// computing anything; ok is false on a cache miss.
+func (e *Engine) CachedInvariant(inst *spatial.Instance) (*invariant.Invariant, bool) {
+	key, err := e.key(inst)
+	if err != nil {
+		return nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.cache[key]; ok {
+		e.lru.MoveToFront(el)
+		return el.Value.(*entry).inv, true
+	}
+	return nil, false
+}
+
+// invariant reports whether the invariant came from the cache (hit); waiting
+// on another goroutine's in-flight compute counts as a miss.
+func (e *Engine) invariant(inst *spatial.Instance) (inv *invariant.Invariant, hit bool, err error) {
+	key, err := e.key(inst)
+	if err != nil {
+		return nil, false, fmt.Errorf("engine: %w", err)
+	}
+
+	e.mu.Lock()
+	if el, ok := e.cache[key]; ok {
+		e.lru.MoveToFront(el)
+		e.hits++
+		inv := el.Value.(*entry).inv
+		e.mu.Unlock()
+		return inv, true, nil
+	}
+	if c, ok := e.inflight[key]; ok {
+		e.dedups++
+		e.misses++
+		e.mu.Unlock()
+		<-c.done
+		return c.inv, false, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.misses++
+	e.mu.Unlock()
+
+	// The inflight entry must be cleared and done closed even if Compute
+	// panics (the geometry layer has panic sites); otherwise every later
+	// request for this key would block forever on c.done.
+	defer func() {
+		if r := recover(); r != nil {
+			c.inv, c.err = nil, fmt.Errorf("engine: invariant computation panicked: %v", r)
+			inv, err = c.inv, c.err
+		}
+		e.mu.Lock()
+		delete(e.inflight, key)
+		if c.err == nil {
+			e.insert(key, c.inv)
+		}
+		e.mu.Unlock()
+		close(c.done)
+	}()
+	c.inv, c.err = invariant.Compute(inst)
+	return c.inv, false, c.err
+}
+
+// insert adds an entry and evicts from the LRU tail past capacity.
+// Called with e.mu held.
+func (e *Engine) insert(key string, inv *invariant.Invariant) {
+	if el, ok := e.cache[key]; ok {
+		e.lru.MoveToFront(el)
+		return
+	}
+	e.cache[key] = e.lru.PushFront(&entry{key: key, inv: inv})
+	for e.lru.Len() > e.capacity {
+		tail := e.lru.Back()
+		e.lru.Remove(tail)
+		delete(e.cache, tail.Value.(*entry).key)
+		e.evictions++
+	}
+}
+
+// Request is one query against one instance.
+type Request struct {
+	Instance *spatial.Instance
+	Query    pointfo.PointFormula
+}
+
+// Result is the outcome of one Request.
+type Result struct {
+	// Index is the position of the request in the Batch input.
+	Index int
+	// Answer is the Boolean query result (meaningless when Err != nil).
+	Answer bool
+	// Err is the evaluation error, if any.
+	Err error
+	// CacheHit reports whether the invariant came from the cache (always
+	// false for the Direct strategy, which never touches the invariant).
+	CacheHit bool
+	// Latency is the wall-clock evaluation time of this request.
+	Latency time.Duration
+}
+
+// Ask evaluates one query with the given strategy, using the invariant cache
+// for the invariant-based strategies.
+func (e *Engine) Ask(inst *spatial.Instance, q pointfo.PointFormula, s core.Strategy) (bool, error) {
+	res := e.AskResult(inst, q, s)
+	return res.Answer, res.Err
+}
+
+// AskResult is Ask returning the full Result (cache hit, latency).
+func (e *Engine) AskResult(inst *spatial.Instance, q pointfo.PointFormula, s core.Strategy) Result {
+	return e.run(Request{Instance: inst, Query: q}, 0, s)
+}
+
+// Batch evaluates many requests concurrently with the given strategy on the
+// engine's worker pool and returns one Result per request, in input order.
+func (e *Engine) Batch(reqs []Request, s core.Strategy) []Result {
+	results := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = e.run(reqs[i], i, s)
+			}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// run evaluates one request and records per-strategy metrics.  Evaluation
+// panics (the query language panics on e.g. unknown region names) are
+// converted to errors: a bad request must not kill the Batch worker pool —
+// or, in the serve front-end, the whole process.
+func (e *Engine) run(req Request, index int, s core.Strategy) (res Result) {
+	start := time.Now()
+	res = Result{Index: index}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("engine: query evaluation panicked: %v", r)
+			res.Latency = time.Since(start)
+			e.record(s, res)
+		}
+	}()
+
+	var db *core.Database
+	var err error
+	if s == core.Direct {
+		db, err = core.Open(req.Instance)
+	} else {
+		var inv *invariant.Invariant
+		inv, res.CacheHit, err = e.invariant(req.Instance)
+		if err == nil {
+			db, err = core.OpenWith(req.Instance, inv)
+		}
+	}
+	if err == nil {
+		res.Answer, err = db.Ask(req.Query, s)
+	}
+	res.Err = err
+	res.Latency = time.Since(start)
+	e.record(s, res)
+	return res
+}
+
+func (e *Engine) record(s core.Strategy, res Result) {
+	if s < 0 || int(s) >= len(e.strat) {
+		return
+	}
+	e.mu.Lock()
+	c := &e.strat[s]
+	c.queries++
+	if res.Err != nil {
+		c.errors++
+	}
+	c.latency += res.Latency
+	e.mu.Unlock()
+}
+
+// StrategyStats is the per-strategy counter snapshot.
+type StrategyStats struct {
+	Strategy     string        `json:"strategy"`
+	Queries      uint64        `json:"queries"`
+	Errors       uint64        `json:"errors"`
+	TotalLatency time.Duration `json:"total_latency_ns"`
+	AvgLatency   time.Duration `json:"avg_latency_ns"`
+}
+
+// Stats is a point-in-time snapshot of the engine's counters.
+type Stats struct {
+	CacheHits      uint64          `json:"cache_hits"`
+	CacheMisses    uint64          `json:"cache_misses"`
+	CacheDedups    uint64          `json:"cache_dedups"`
+	CacheEvictions uint64          `json:"cache_evictions"`
+	CacheSize      int             `json:"cache_size"`
+	CacheCapacity  int             `json:"cache_capacity"`
+	Strategies     []StrategyStats `json:"strategies"`
+}
+
+// Stats returns a snapshot of the engine's cache and per-strategy counters.
+// Strategies that served no queries are omitted.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{
+		CacheHits:      e.hits,
+		CacheMisses:    e.misses,
+		CacheDedups:    e.dedups,
+		CacheEvictions: e.evictions,
+		CacheSize:      e.lru.Len(),
+		CacheCapacity:  e.capacity,
+	}
+	for s, c := range e.strat {
+		if c.queries == 0 {
+			continue
+		}
+		st.Strategies = append(st.Strategies, StrategyStats{
+			Strategy:     core.Strategy(s).String(),
+			Queries:      c.queries,
+			Errors:       c.errors,
+			TotalLatency: c.latency,
+			AvgLatency:   c.latency / time.Duration(c.queries),
+		})
+	}
+	return st
+}

@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pointfo"
+	"repro/internal/spatial"
+	"repro/internal/workload"
+)
+
+func nested(t testing.TB, levels int) *spatial.Instance {
+	t.Helper()
+	inst, err := workload.NestedRegions(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func nonEmpty(name string) pointfo.PointFormula {
+	return pointfo.PExists{Vars: []string{"u"}, Body: pointfo.In{Region: name, Var: "u"}}
+}
+
+func TestInvariantCacheHit(t *testing.T) {
+	e := New()
+	inst := nested(t, 3)
+
+	a, err := e.Invariant(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Invariant(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second Invariant call did not return the cached invariant")
+	}
+
+	st := e.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 1 {
+		t.Errorf("stats: %d misses, %d hits; want 1, 1", st.CacheMisses, st.CacheHits)
+	}
+	if st.CacheSize != 1 {
+		t.Errorf("cache size %d, want 1", st.CacheSize)
+	}
+}
+
+// TestContentAddressing verifies that two structurally identical instances
+// built independently share one cache entry.
+func TestContentAddressing(t *testing.T) {
+	e := New()
+	a, err := e.Invariant(nested(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Invariant(nested(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical content did not share a cache entry")
+	}
+	if st := e.Stats(); st.CacheSize != 1 {
+		t.Errorf("cache size %d, want 1", st.CacheSize)
+	}
+}
+
+// TestSingleflightDedup parks waiters on a hand-installed in-flight call and
+// checks they receive its result instead of computing their own.
+func TestSingleflightDedup(t *testing.T) {
+	e := New()
+	inst := nested(t, 2)
+	key, err := InstanceKey(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := e.Invariant(nested(t, 2)) // warm a reference result
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reset to an empty engine state and install a fake in-flight call.
+	e = New()
+	c := &call{done: make(chan struct{})}
+	e.mu.Lock()
+	e.inflight[key] = c
+	e.mu.Unlock()
+
+	got := make(chan error, 1)
+	go func() {
+		inv, _, err := e.invariant(inst)
+		if err == nil && inv != want {
+			t.Error("waiter did not receive the in-flight result")
+		}
+		got <- err
+	}()
+
+	select {
+	case <-got:
+		t.Fatal("waiter returned before the in-flight call completed")
+	default:
+	}
+	c.inv = want
+	close(c.done)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CacheDedups != 1 {
+		t.Errorf("dedups %d, want 1", st.CacheDedups)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	e := New(WithCacheCapacity(2))
+	first := nested(t, 2)
+	for _, inst := range []*spatial.Instance{first, nested(t, 3), nested(t, 4)} {
+		if _, err := e.Invariant(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.CacheSize != 2 {
+		t.Errorf("cache size %d, want 2", st.CacheSize)
+	}
+	if st.CacheEvictions != 1 {
+		t.Errorf("evictions %d, want 1", st.CacheEvictions)
+	}
+	if _, ok := e.CachedInvariant(first); ok {
+		t.Error("least-recently-used entry was not the one evicted")
+	}
+}
+
+func TestAskMatchesCore(t *testing.T) {
+	e := New()
+	inst := nested(t, 3)
+	queries := []pointfo.PointFormula{
+		nonEmpty("P"),
+		pointfo.QueryIntersect("P", "P"),
+	}
+	for _, s := range []core.Strategy{core.Direct, core.ViaInvariantFO, core.ViaInvariantFixpoint, core.ViaLinearized} {
+		for _, q := range queries {
+			db, err := core.Open(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantErr := db.Ask(q, s)
+			got, gotErr := e.Ask(inst, q, s)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("strategy %v query %v: error mismatch %v vs %v", s, q, wantErr, gotErr)
+			}
+			if want != got {
+				t.Errorf("strategy %v query %v: engine answered %v, core answered %v", s, q, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchOrderAndConcurrency(t *testing.T) {
+	e := New(WithWorkers(4))
+	instances := []*spatial.Instance{nested(t, 2), nested(t, 3), nested(t, 4)}
+	var reqs []Request
+	for i := 0; i < 24; i++ {
+		reqs = append(reqs, Request{Instance: instances[i%len(instances)], Query: nonEmpty("P")})
+	}
+	results := e.Batch(reqs, core.ViaInvariantFixpoint)
+	if len(results) != len(reqs) {
+		t.Fatalf("%d results for %d requests", len(results), len(reqs))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d carries index %d", i, r.Index)
+		}
+		if r.Err != nil {
+			t.Errorf("request %d: %v", i, r.Err)
+		}
+		if !r.Answer {
+			t.Errorf("request %d: NestedRegions P should be non-empty", i)
+		}
+		if r.Latency <= 0 {
+			t.Errorf("request %d: non-positive latency", i)
+		}
+	}
+	st := e.Stats()
+	if st.CacheSize != len(instances) {
+		t.Errorf("cache size %d, want %d", st.CacheSize, len(instances))
+	}
+	if st.CacheHits+st.CacheMisses != uint64(len(reqs)) {
+		t.Errorf("hits+misses = %d, want %d", st.CacheHits+st.CacheMisses, len(reqs))
+	}
+	if st.CacheMisses == uint64(len(reqs)) {
+		t.Error("no request was served from the cache")
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	if res := New().Batch(nil, core.Direct); len(res) != 0 {
+		t.Fatalf("want empty result set, got %d", len(res))
+	}
+}
+
+// TestDirectStrategySkipsCache checks that Direct evaluation neither reads
+// nor populates the invariant cache.
+func TestDirectStrategySkipsCache(t *testing.T) {
+	e := New()
+	if _, err := e.Ask(nested(t, 3), nonEmpty("P"), core.Direct); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheSize != 0 {
+		t.Errorf("Direct strategy touched the cache: %+v", st)
+	}
+	if len(st.Strategies) != 1 || st.Strategies[0].Queries != 1 {
+		t.Errorf("strategy counters not recorded: %+v", st.Strategies)
+	}
+}
+
+// TestEvaluationPanicBecomesError checks that a query referencing an unknown
+// region (which panics deep in the evaluator) surfaces as a per-request error
+// instead of killing the Batch worker — and with it the whole process.
+func TestEvaluationPanicBecomesError(t *testing.T) {
+	e := New()
+	inst := nested(t, 2)
+	results := e.Batch([]Request{
+		{Instance: inst, Query: nonEmpty("NoSuchRegion")},
+		{Instance: inst, Query: nonEmpty("P")},
+	}, core.Direct)
+	if results[0].Err == nil {
+		t.Error("unknown region: want an error result")
+	}
+	if results[1].Err != nil || !results[1].Answer {
+		t.Errorf("valid request alongside a panicking one: %+v", results[1])
+	}
+	if _, err := e.Ask(inst, nonEmpty("NoSuchRegion"), core.ViaInvariantFixpoint); err == nil {
+		t.Error("Ask with unknown region: want an error")
+	}
+}
+
+// TestConcurrentInvariant hammers one engine from many goroutines; run with
+// -race this doubles as the engine's data-race test.
+func TestConcurrentInvariant(t *testing.T) {
+	e := New(WithCacheCapacity(2))
+	instances := []*spatial.Instance{nested(t, 2), nested(t, 3), nested(t, 4)}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				inst := instances[(g+i)%len(instances)]
+				if _, err := e.Invariant(inst); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := e.Ask(inst, nonEmpty("P"), core.ViaInvariantFixpoint); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := e.Stats(); st.CacheSize > 2 {
+		t.Errorf("cache exceeded its capacity: size %d", st.CacheSize)
+	}
+}

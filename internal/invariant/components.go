@@ -63,14 +63,14 @@ func (c *Component) HasProperEdge(inv *Invariant) bool {
 }
 
 // Components computes (and caches) the connected components, face ownership,
-// distances and the connected-component tree of the invariant.
+// distances and the connected-component tree of the invariant.  It is safe
+// for concurrent use: invariants are shared across goroutines by the engine's
+// content-addressed cache.
 func (inv *Invariant) Components() *Components {
-	if inv.components != nil {
-		return inv.components
-	}
-	c := computeComponents(inv)
-	inv.components = c
-	return c
+	inv.componentsOnce.Do(func() {
+		inv.components = computeComponents(inv)
+	})
+	return inv.components
 }
 
 func computeComponents(inv *Invariant) *Components {

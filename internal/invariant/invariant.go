@@ -18,6 +18,7 @@ package invariant
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/arrangement"
 	"repro/internal/spatial"
@@ -108,7 +109,8 @@ type Invariant struct {
 	// ExteriorFace is the index of the unbounded face.
 	ExteriorFace int
 
-	components *Components // computed lazily
+	componentsOnce sync.Once
+	components     *Components // computed lazily, guarded by componentsOnce
 }
 
 // Compute builds the topological invariant of the instance by constructing
@@ -306,8 +308,11 @@ func (inv *Invariant) Validate() error {
 		}
 	}
 	for i, e := range inv.Edges {
-		if e.V1 >= len(inv.Vertices) || e.V2 >= len(inv.Vertices) {
+		if e.V1 >= len(inv.Vertices) || e.V2 >= len(inv.Vertices) || e.V1 < -1 || e.V2 < -1 {
 			return fmt.Errorf("invariant: edge %d endpoint out of range", i)
+		}
+		if (e.V1 < 0) != (e.V2 < 0) {
+			return fmt.Errorf("invariant: edge %d has exactly one missing endpoint", i)
 		}
 		if len(e.Faces) == 0 || len(e.Faces) > 2 {
 			return fmt.Errorf("invariant: edge %d has %d incident faces", i, len(e.Faces))
@@ -337,6 +342,11 @@ func (inv *Invariant) Validate() error {
 		for _, v := range f.Vertices {
 			if v < 0 || v >= len(inv.Vertices) {
 				return fmt.Errorf("invariant: face %d references vertex %d out of range", i, v)
+			}
+		}
+		for _, v := range f.IsolatedVertices {
+			if v < 0 || v >= len(inv.Vertices) {
+				return fmt.Errorf("invariant: face %d references isolated vertex %d out of range", i, v)
 			}
 		}
 	}

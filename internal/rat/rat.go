@@ -129,6 +129,13 @@ func MustParse(s string) R {
 	return r
 }
 
+// FromBigRat returns the rational equal to br.  The value is copied; callers
+// may mutate br afterwards.  Values that fit int64 are demoted to the fast
+// representation, so FromBigRat(x).Equal(New(n, d)) behaves as expected.
+func FromBigRat(br *big.Rat) R {
+	return fromBig(br)
+}
+
 func fromBig(br *big.Rat) R {
 	// Try to demote to the int64 fast path.
 	if br.Num().IsInt64() && br.Denom().IsInt64() {

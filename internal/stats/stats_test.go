@@ -1,0 +1,32 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestMeasureReportsMeasuredBytes(t *testing.T) {
+	inst, err := workload.LandUse(workload.DefaultLandUse(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Measure("landuse", inst, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimated columns are unchanged by the measured extension.
+	if c.RawBytes != inst.PointCount()*20 {
+		t.Errorf("estimated raw bytes %d, want %d", c.RawBytes, inst.PointCount()*20)
+	}
+	if c.MeasuredRawBytes == 0 || c.MeasuredInvBytes == 0 {
+		t.Fatalf("measured bytes not populated: %+v", c)
+	}
+	if c.MeasuredRatio <= 1 {
+		t.Errorf("measured raw/inv ratio %.2f; the paper's compression claim should hold in serialized bytes", c.MeasuredRatio)
+	}
+	if !strings.Contains(c.MeasuredRow(), "landuse") {
+		t.Errorf("MeasuredRow missing dataset name: %q", c.MeasuredRow())
+	}
+}

@@ -21,7 +21,9 @@
 package topoinv
 
 import (
+	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/invariant"
 	"repro/internal/pointfo"
@@ -49,6 +51,17 @@ type (
 	Query = pointfo.PointFormula
 	// Compression is the size/degree summary of a dataset.
 	Compression = stats.Compression
+	// Engine is the concurrent query engine with a content-addressed
+	// invariant cache and a worker-pool batch evaluator.
+	Engine = engine.Engine
+	// EngineStats is a snapshot of the engine's cache and query counters.
+	EngineStats = engine.Stats
+	// BatchRequest is one query against one instance in a Batch call.
+	BatchRequest = engine.Request
+	// BatchResult is the outcome of one BatchRequest.
+	BatchResult = engine.Result
+	// EngineOption configures NewEngine.
+	EngineOption = engine.Option
 )
 
 // Evaluation strategies (the paper's options (i)–(iv)).
@@ -57,6 +70,12 @@ const (
 	ViaInvariantFO       = core.ViaInvariantFO
 	ViaInvariantFixpoint = core.ViaInvariantFixpoint
 	ViaLinearized        = core.ViaLinearized
+)
+
+// Binary-codec payload kinds (see PayloadKind).
+const (
+	KindInstance  = codec.KindInstance
+	KindInvariant = codec.KindInvariant
 )
 
 // Schema and instance construction.
@@ -77,6 +96,32 @@ var (
 	Equivalent = core.TopologicallyEquivalent
 	// Measure computes the compression summary of an instance.
 	Measure = stats.Measure
+	// OpenWith prepares a Database seeded with a precomputed invariant.
+	OpenWith = core.OpenWith
+)
+
+// Persistence: the deterministic, versioned binary codec for instances and
+// invariants, and the concurrent query engine built on it.
+var (
+	// Encode serializes an instance to the versioned binary format.
+	Encode = codec.EncodeInstance
+	// Decode deserializes an instance.
+	Decode = codec.DecodeInstance
+	// EncodeInvariant serializes a topological invariant.
+	EncodeInvariant = codec.EncodeInvariant
+	// DecodeInvariant deserializes (and validates) a topological invariant.
+	DecodeInvariant = codec.DecodeInvariant
+	// PayloadKind inspects a blob's header: KindInstance or KindInvariant.
+	PayloadKind = codec.PayloadKind
+	// NewEngine creates a concurrent query engine.
+	NewEngine = engine.New
+	// WithCacheCapacity bounds the engine's invariant cache (LRU).
+	WithCacheCapacity = engine.WithCacheCapacity
+	// WithWorkers sets the engine's Batch worker-pool size.
+	WithWorkers = engine.WithWorkers
+	// InstanceKey returns the content address (hex SHA-256 of the encoding)
+	// of an instance.
+	InstanceKey = engine.InstanceKey
 )
 
 // Region constructors.
