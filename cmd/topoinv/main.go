@@ -1,4 +1,4 @@
-// Command topoinv is the CLI around the library.  It has four subcommands:
+// Command topoinv is the CLI around the library.  It has five subcommands:
 //
 //	topoinv measure -workload landuse -scale 1 -strategy fixpoint
 //	    generate a built-in workload, print the compression statistics of the
@@ -9,8 +9,12 @@
 //	    binary format;
 //	topoinv decode -i inst.tinv
 //	    deserialize a blob and print a summary;
-//	topoinv serve -addr :8080
-//	    run the concurrent query engine behind a small HTTP JSON API.
+//	topoinv import -i map.geojson -o inst.tinv [-precision 7]
+//	    convert a GeoJSON document (rationally snapped and validated) to a
+//	    binary instance;
+//	topoinv serve -addr :8080 [-store dir]
+//	    run the concurrent query engine behind a small HTTP JSON API, with an
+//	    optional disk-persistent invariant store.
 //
 // Running with no subcommand behaves like "measure" (the historical CLI).
 package main
@@ -31,7 +35,7 @@ func main() {
 	cmd := "measure"
 	if len(args) > 0 {
 		switch {
-		case args[0] == "measure" || args[0] == "encode" || args[0] == "decode" || args[0] == "serve":
+		case args[0] == "measure" || args[0] == "encode" || args[0] == "decode" || args[0] == "serve" || args[0] == "import":
 			cmd, args = args[0], args[1:]
 		case args[0] == "-h" || args[0] == "--help" || args[0] == "help":
 			usage()
@@ -49,6 +53,8 @@ func main() {
 		runEncode(args)
 	case "decode":
 		runDecode(args)
+	case "import":
+		runImport(args)
 	case "serve":
 		runServe(args)
 	}
@@ -61,6 +67,7 @@ commands:
   measure   compute invariant + compression statistics for a workload (default)
   encode    serialize a workload instance or invariant to binary
   decode    read a binary blob and print a summary
+  import    convert a GeoJSON document to a binary instance
   serve     run the query engine as an HTTP JSON service
 
 Run "topoinv <command> -h" for per-command flags.

@@ -1,8 +1,9 @@
 // The serve subcommand exposes the concurrent query engine as a small HTTP
 // JSON API:
 //
-//	POST /v1/instances          load an instance: {"workload":"landuse","scale":1}
-//	                            or {"data":"<base64 of a topoinv encode blob>"};
+//	POST /v1/instances          load an instance: {"workload":"landuse","scale":1},
+//	                            {"data":"<base64 of a topoinv encode blob>"} or
+//	                            {"geojson":{…FeatureCollection…},"precision":7};
 //	                            returns the content-addressed instance id
 //	GET  /v1/instances          list loaded instances
 //	GET  /v1/instances/{id}/invariant
@@ -22,7 +23,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 
 	"repro/topoinv"
 )
@@ -32,13 +36,36 @@ func runServe(args []string) {
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheCap := fs.Int("cache", 128, "invariant cache capacity (entries)")
 	workers := fs.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
+	storeDir := fs.String("store", "", "directory for the disk-persistent invariant store (empty = memory only)")
 	fs.Parse(args)
 
 	opts := []topoinv.EngineOption{topoinv.WithCacheCapacity(*cacheCap)}
 	if *workers > 0 {
 		opts = append(opts, topoinv.WithWorkers(*workers))
 	}
-	srv := newServer(topoinv.NewEngine(opts...))
+	if *storeDir != "" {
+		opts = append(opts, topoinv.WithStore(*storeDir))
+	}
+	engine := topoinv.NewEngine(opts...)
+	if err := engine.StoreErr(); err != nil {
+		log.Fatal(err)
+	}
+	if *storeDir != "" {
+		log.Printf("invariant store at %s (%d invariants on disk)", *storeDir, engine.Store().Len())
+		// Flush the store manifest on SIGINT/SIGTERM.  Not required for
+		// correctness — Open rebuilds from the shard logs — but a current
+		// manifest lets the next Open verify checksums over everything.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			if err := engine.Close(); err != nil {
+				log.Printf("closing invariant store: %v", err)
+			}
+			os.Exit(0)
+		}()
+	}
+	srv := newServer(engine)
 	log.Printf("topoinv engine listening on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }
@@ -79,8 +106,13 @@ type loadRequest struct {
 	// Workload + Scale generate a built-in workload…
 	Workload string `json:"workload,omitempty"`
 	Scale    int    `json:"scale,omitempty"`
-	// …or Data carries a base64-encoded binary instance blob.
+	// …or Data carries a base64-encoded binary instance blob…
 	Data string `json:"data,omitempty"`
+	// …or GeoJSON carries an inline GeoJSON document (FeatureCollection,
+	// Feature or bare geometry), imported with rational coordinate
+	// snapping at the given decimal precision (0 ⇒ the default grid).
+	GeoJSON   json.RawMessage `json:"geojson,omitempty"`
+	Precision int             `json:"precision,omitempty"`
 }
 
 type loadResponse struct {
@@ -90,14 +122,48 @@ type loadResponse struct {
 	Points   int    `json:"points"`
 }
 
+// Body limits: ring validation is quadratic in vertex count in exact
+// rational arithmetic, so unbounded uploads are a CPU DoS, not just a memory
+// one.  maxBodyBytes caps every request body; maxGeoJSONBytes caps inline
+// GeoJSON early, and the importer's own position limits (MaxRingVertices /
+// MaxPolygonPositions / MaxDocumentPositions) bound the validation cost:
+// typical cartographic data (~80 vertices per polygon) validates in
+// milliseconds, while a maximally adversarial document is bounded to tens
+// of seconds rather than unbounded minutes.
+const (
+	maxBodyBytes    = 8 << 20
+	maxGeoJSONBytes = 1 << 20
+)
+
 func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req loadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if len(req.GeoJSON) > maxGeoJSONBytes {
+		httpError(w, http.StatusBadRequest, "geojson document larger than %d bytes", maxGeoJSONBytes)
+		return
+	}
+	// Clients that emit every field treat absent values as JSON null;
+	// RawMessage keeps the literal "null" bytes, which must not shadow a
+	// workload/data load.
+	if string(req.GeoJSON) == "null" {
+		req.GeoJSON = nil
+	}
 	var inst *topoinv.Instance
 	switch {
+	case len(req.GeoJSON) > 0:
+		var opts []topoinv.GeoJSONOption
+		if req.Precision > 0 {
+			opts = append(opts, topoinv.GeoJSONPrecision(req.Precision))
+		}
+		var err error
+		if inst, err = topoinv.ImportGeoJSON(req.GeoJSON, opts...); err != nil {
+			httpError(w, http.StatusBadRequest, "bad geojson: %v", err)
+			return
+		}
 	case req.Data != "":
 		raw, err := base64.StdEncoding.DecodeString(req.Data)
 		if err != nil {
@@ -119,7 +185,7 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	default:
-		httpError(w, http.StatusBadRequest, "provide either workload or data")
+		httpError(w, http.StatusBadRequest, "provide workload, data or geojson")
 		return
 	}
 	id, err := topoinv.InstanceKey(inst)
@@ -282,6 +348,7 @@ func parseStrategy(name string) (topoinv.Strategy, error) {
 }
 
 func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req askRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -328,6 +395,7 @@ type batchItemResponse struct {
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)

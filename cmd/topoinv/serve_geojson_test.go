@@ -1,0 +1,212 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/topoinv"
+)
+
+const serveGeoJSON = `{
+  "type": "FeatureCollection",
+  "features": [
+    {"type": "Feature",
+     "properties": {"name": "forest"},
+     "geometry": {"type": "Polygon", "coordinates": [[[0,0],[10,0],[10,10],[0,10],[0,0]]]}},
+    {"type": "Feature",
+     "properties": {"name": "lake"},
+     "geometry": {"type": "Polygon", "coordinates": [[[2,2],[6,2],[6,6],[2,6],[2,2]]]}}
+  ]
+}`
+
+func TestServeGeoJSONUpload(t *testing.T) {
+	ts := testServer(t)
+
+	var loaded loadResponse
+	req := loadRequest{GeoJSON: json.RawMessage(serveGeoJSON)}
+	if resp := postJSON(t, ts.URL+"/v1/instances", req, &loaded); resp.StatusCode != http.StatusOK {
+		t.Fatalf("geojson load: status %d", resp.StatusCode)
+	}
+	if loaded.Regions != 2 || loaded.Points != 8 {
+		t.Fatalf("geojson load: %+v, want 2 regions / 8 points", loaded)
+	}
+	// The id must be the content address of the imported instance.
+	inst, err := topoinv.ImportGeoJSON([]byte(serveGeoJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := topoinv.InstanceKey(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ID != want {
+		t.Errorf("id %s, want content address %s", loaded.ID, want)
+	}
+
+	// The uploaded geometry answers queries end to end.
+	var inv invariantResponse
+	getJSON(t, fmt.Sprintf("%s/v1/instances/%s/invariant", ts.URL, loaded.ID), &inv)
+	if inv.Cells == 0 {
+		t.Error("invariant of uploaded GeoJSON has no cells")
+	}
+	var ans askResponse
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Query: "intersects", Regions: []string{"forest", "lake"}, Strategy: "fixpoint"}, &ans); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask: status %d", resp.StatusCode)
+	}
+	if !ans.Answer {
+		t.Error("lake inside forest: intersects = false")
+	}
+}
+
+func TestServeGeoJSONPrecision(t *testing.T) {
+	ts := testServer(t)
+	// At precision 7 (default) the two x values are distinct; at precision 2
+	// they snap together, changing the content address.
+	doc := `{"type":"LineString","coordinates":[[0,0],[0.001,5],[10,10]]}`
+	var fine, coarse loadResponse
+	if resp := postJSON(t, ts.URL+"/v1/instances", loadRequest{GeoJSON: json.RawMessage(doc)}, &fine); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fine load: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/instances", loadRequest{GeoJSON: json.RawMessage(doc), Precision: 2}, &coarse); resp.StatusCode != http.StatusOK {
+		t.Fatalf("coarse load: status %d", resp.StatusCode)
+	}
+	if fine.ID == coarse.ID {
+		t.Error("precision option had no effect on the content address")
+	}
+}
+
+func TestServeGeoJSONErrors(t *testing.T) {
+	ts := testServer(t)
+	// Syntactically broken GeoJSON cannot ride inside a JSON request body;
+	// post the raw bytes so the breakage reaches the server.
+	resp, err := http.Post(ts.URL+"/v1/instances", "application/json",
+		strings.NewReader(`{"geojson": {"type":"FeatureCollection","features":[}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("broken body: status %d, want 400", resp.StatusCode)
+	}
+
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"unknown geometry", `{"type":"Blob","coordinates":[]}`},
+		{"unclosed ring", `{"type":"Polygon","coordinates":[[[0,0],[5,0],[5,5],[0,5]]]}`},
+		{"degenerate ring", `{"type":"Polygon","coordinates":[[[0,0],[1e-9,0],[0,1e-9],[0,0]]]}`},
+		{"bowtie", `{"type":"Polygon","coordinates":[[[0,0],[5,0],[5,5],[1,-1],[0,0]]]}`},
+		{"empty collection", `{"type":"FeatureCollection","features":[]}`},
+		{"huge coordinate", `{"type":"Point","coordinates":[1e300,0]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+"/v1/instances", loadRequest{GeoJSON: json.RawMessage(tc.doc)}, nil)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+// TestServeRestartServesFromDisk is the acceptance test for the persistence
+// layer: a second server process (fresh engine, same store directory) must
+// serve invariants from disk — store hits observed, zero recomputes.
+func TestServeRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+
+	// First process: upload GeoJSON, compute + persist its invariant.
+	e1 := topoinv.NewEngine(topoinv.WithStore(dir))
+	if err := e1.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(newServer(e1).routes())
+	var loaded loadResponse
+	if resp := postJSON(t, ts1.URL+"/v1/instances", loadRequest{GeoJSON: json.RawMessage(serveGeoJSON)}, &loaded); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: status %d", resp.StatusCode)
+	}
+	var inv1 invariantResponse
+	getJSON(t, fmt.Sprintf("%s/v1/instances/%s/invariant", ts1.URL, loaded.ID), &inv1)
+	if inv1.Cells == 0 {
+		t.Fatal("first process computed no invariant")
+	}
+	var st1 topoinv.EngineStats
+	getJSON(t, ts1.URL+"/v1/stats", &st1)
+	if st1.Computes != 1 || st1.StorePuts != 1 {
+		t.Fatalf("first process stats: computes=%d puts=%d, want 1/1", st1.Computes, st1.StorePuts)
+	}
+	ts1.Close()
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: brand-new engine and server over the same directory.
+	e2 := topoinv.NewEngine(topoinv.WithStore(dir))
+	if err := e2.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	ts2 := httptest.NewServer(newServer(e2).routes())
+	defer ts2.Close()
+
+	if resp := postJSON(t, ts2.URL+"/v1/instances", loadRequest{GeoJSON: json.RawMessage(serveGeoJSON)}, &loaded); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status %d", resp.StatusCode)
+	}
+	var inv2 invariantResponse
+	getJSON(t, fmt.Sprintf("%s/v1/instances/%s/invariant", ts2.URL, loaded.ID), &inv2)
+	if inv2.Cells != inv1.Cells {
+		t.Errorf("restarted invariant has %d cells, first had %d", inv2.Cells, inv1.Cells)
+	}
+
+	var st2 topoinv.EngineStats
+	getJSON(t, ts2.URL+"/v1/stats", &st2)
+	if st2.StoreHits == 0 {
+		t.Error("restarted engine served no invariant from disk (store_hits = 0)")
+	}
+	if st2.Computes != 0 {
+		t.Errorf("restarted engine recomputed %d invariants, want 0", st2.Computes)
+	}
+	if st2.Store == nil || st2.Store.Keys == 0 {
+		t.Errorf("restarted engine reports no on-disk keys: %+v", st2.Store)
+	}
+}
+
+// TestServeGeoJSONTooLarge: oversized inline GeoJSON must be rejected before
+// the quadratic ring validation runs.
+func TestServeGeoJSONTooLarge(t *testing.T) {
+	ts := testServer(t)
+	// Whitespace padding would be stripped by json.Compact on the client
+	// side; use real coordinate content to stay over the limit on the wire.
+	doc := `{"type":"MultiPoint","coordinates":[` + strings.Repeat("[0,0],", 1<<18) + `[0,0]]}`
+	resp := postJSON(t, ts.URL+"/v1/instances", loadRequest{GeoJSON: json.RawMessage(doc)}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized geojson: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeNullGeoJSONFallsThrough: clients that emit all fields send
+// "geojson": null, which must not shadow a workload load.
+func TestServeNullGeoJSONFallsThrough(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/instances", "application/json",
+		strings.NewReader(`{"geojson":null,"workload":"nested","scale":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("null geojson + workload: status %d, want 200", resp.StatusCode)
+	}
+	var loaded loadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ID == "" || loaded.Points == 0 {
+		t.Fatalf("workload not loaded: %+v", loaded)
+	}
+}

@@ -665,7 +665,12 @@ func (r *reader) region() (region.Region, error) {
 			if err != nil {
 				return region.Region{}, err
 			}
-			holes := make([]geom.Polygon, nh)
+			// nil (not empty) for hole-free polygons, so decoded features
+			// are deeply equal to ones built by the constructors.
+			var holes []geom.Polygon
+			if nh > 0 {
+				holes = make([]geom.Polygon, nh)
+			}
 			for j := range holes {
 				hv, err := r.ring()
 				if err != nil {

@@ -12,9 +12,11 @@ import (
 	"repro/internal/workload"
 )
 
-// generators is the full workload-generator suite; codec round-trips must
-// hold for every instance they produce.
-func generators(t *testing.T) map[string]*spatial.Instance {
+// generators is the full workload-generator suite at pinned scales; codec
+// round-trips must hold for every instance they produce.  Shared by the
+// round-trip, golden and fuzz-seed tests so a new generator cannot be added
+// to one table and silently miss the others.
+func generators(t testing.TB) map[string]*spatial.Instance {
 	t.Helper()
 	out := make(map[string]*spatial.Instance)
 	add := func(name string, inst *spatial.Instance, err error) {

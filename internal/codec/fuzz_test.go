@@ -1,0 +1,114 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/spatial"
+)
+
+// fuzzSeeds is the shared workload-generator table — the seed corpus must
+// cover every encoder code path (areas with holes, polylines, isolated
+// points, multi-feature regions, multi-class schemas).
+func fuzzSeeds(f *testing.F) map[string]*spatial.Instance {
+	f.Helper()
+	return generators(f)
+}
+
+// FuzzDecodeInstance: DecodeInstance must never panic on arbitrary bytes,
+// and anything it accepts must re-encode canonically (a second decode/encode
+// cycle is a fixed point).
+func FuzzDecodeInstance(f *testing.F) {
+	for name, inst := range fuzzSeeds(f) {
+		data, err := EncodeInstance(inst)
+		if err != nil {
+			f.Fatalf("encode %s: %v", name, err)
+		}
+		f.Add(data)
+		// A few deliberately broken variants steer the mutator toward the
+		// validation paths.
+		f.Add(data[:len(data)/2])
+		flipped := bytes.Clone(data)
+		flipped[len(flipped)/2] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TINV"))
+	f.Add([]byte("TINV\x01\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inst, err := DecodeInstance(data)
+		if err != nil {
+			return
+		}
+		// Accepted input ⇒ the decoded value is well-formed…
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("decoded instance fails validation: %v", err)
+		}
+		// …and its canonical encoding is a fixed point of decode∘encode.
+		// (The accepted bytes themselves need not be canonical: e.g. an
+		// unreduced rational decodes fine but re-encodes reduced.)
+		enc1, err := EncodeInstance(inst)
+		if err != nil {
+			t.Fatalf("re-encode of decoded instance: %v", err)
+		}
+		inst2, err := DecodeInstance(enc1)
+		if err != nil {
+			t.Fatalf("decode of canonical encoding: %v", err)
+		}
+		enc2, err := EncodeInstance(inst2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzDecodeInvariant: DecodeInvariant must never panic on arbitrary bytes,
+// and anything it accepts must pass invariant validation and re-encode
+// canonically.
+func FuzzDecodeInvariant(f *testing.F) {
+	for name, inst := range fuzzSeeds(f) {
+		inv, err := invariant.Compute(inst)
+		if err != nil {
+			f.Fatalf("invariant %s: %v", name, err)
+		}
+		data, err := EncodeInvariant(inv)
+		if err != nil {
+			f.Fatalf("encode invariant %s: %v", name, err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		flipped := bytes.Clone(data)
+		flipped[len(flipped)/3] ^= 0xff
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TINV\x01\x02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		inv, err := DecodeInvariant(data)
+		if err != nil {
+			return
+		}
+		if err := inv.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invariant that fails validation: %v", err)
+		}
+		enc1, err := EncodeInvariant(inv)
+		if err != nil {
+			t.Fatalf("re-encode of decoded invariant: %v", err)
+		}
+		inv2, err := DecodeInvariant(enc1)
+		if err != nil {
+			t.Fatalf("decode of canonical encoding: %v", err)
+		}
+		enc2, err := EncodeInvariant(inv2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatal("canonical invariant encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package codec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/spatial"
+	"repro/internal/workload"
+)
+
+// update regenerates the golden files:
+//
+//	go test ./internal/codec -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the codec golden files")
+
+// goldenWorkloads is the shared pinned-scale generator table.  These are
+// frozen: a changed encoding, a changed generator or a changed hash all show
+// up as a golden diff, which is exactly the point — silent format or
+// content-address drift would strand every store directory and
+// content-addressed cache in the wild.
+func goldenWorkloads(t *testing.T) map[string]*spatial.Instance {
+	t.Helper()
+	return generators(t)
+}
+
+// instanceKey mirrors engine.InstanceKey (which cannot be imported here
+// without an import cycle): the hex SHA-256 of the canonical encoding.
+func instanceKey(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestGoldenInstances pins the exact encoded bytes and the content address
+// of every workload generator at scale 1.
+func TestGoldenInstances(t *testing.T) {
+	keysPath := filepath.Join("testdata", "golden_keys.json")
+	keys := make(map[string]string)
+	if !*update {
+		data, err := os.ReadFile(keysPath)
+		if err != nil {
+			t.Fatalf("read golden keys (run with -update to generate): %v", err)
+		}
+		if err := json.Unmarshal(data, &keys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newKeys := make(map[string]string)
+	for name, inst := range goldenWorkloads(t) {
+		t.Run(name, func(t *testing.T) {
+			enc, err := EncodeInstance(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", name+".instance.tinv")
+			newKeys[name] = instanceKey(enc)
+			if *update {
+				if err := os.WriteFile(goldenPath, enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden file (run with -update to generate): %v", err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Errorf("encoded bytes drifted from %s (%d vs %d bytes); run with -update if intentional",
+					goldenPath, len(enc), len(want))
+			}
+			if got, wantKey := instanceKey(enc), keys[name]; got != wantKey {
+				t.Errorf("InstanceKey drifted: %s, golden %s", got, wantKey)
+			}
+			// The pinned bytes must stay decodable by the current decoder.
+			back, err := DecodeInstance(want)
+			if err != nil {
+				t.Fatalf("golden bytes no longer decode: %v", err)
+			}
+			if back.PointCount() != inst.PointCount() {
+				t.Errorf("golden decode point count %d, generator %d", back.PointCount(), inst.PointCount())
+			}
+		})
+	}
+	if *update {
+		data, err := json.MarshalIndent(newKeys, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(keysPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGoldenInvariants pins the encoded invariant bytes for the two cheap
+// generators (the expensive arrangements are covered by the instance goldens;
+// invariant encoding determinism is what matters here).
+func TestGoldenInvariants(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func() (*spatial.Instance, error)
+	}{
+		{"nested", func() (*spatial.Instance, error) { return workload.NestedRegions(3) }},
+		{"multicomponent", func() (*spatial.Instance, error) { return workload.MultiComponent(4) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inst, err := tc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			inv, err := invariant.Compute(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc, err := EncodeInvariant(inv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", tc.name+".invariant.tinv")
+			if *update {
+				if err := os.WriteFile(goldenPath, enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden file (run with -update to generate): %v", err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Errorf("invariant bytes drifted from %s; run with -update if intentional", goldenPath)
+			}
+			if _, err := DecodeInvariant(want); err != nil {
+				t.Fatalf("golden invariant no longer decodes: %v", err)
+			}
+		})
+	}
+}

@@ -11,6 +11,14 @@
 // requests for the same uncached instance are deduplicated singleflight-style
 // so the arrangement is built exactly once.
 //
+// The in-memory cache is sharded by the leading hex digit of the content key
+// (16 shards, each with its own mutex, LRU list and in-flight table), so
+// Batch workers hitting different instances do not serialize on one lock.
+// With WithStore the engine also layers over a disk store (package store):
+// a memory miss falls through to disk before recomputing, and every freshly
+// computed invariant is persisted, so a restarted engine pointed at the same
+// directory serves invariants without rebuilding a single arrangement.
+//
 // Invariants are immutable after construction, so a cached invariant may be
 // shared by any number of concurrent queries; each query gets its own
 // core.Database (whose lazy evaluator state is not concurrency-safe), seeded
@@ -25,6 +33,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/codec"
@@ -32,16 +41,24 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/pointfo"
 	"repro/internal/spatial"
+	"repro/internal/store"
 )
 
 // DefaultCacheCapacity bounds the invariant cache when no option is given.
 const DefaultCacheCapacity = 128
 
+// cacheShards is the fan-out of the in-memory cache.  Content keys are hex
+// SHA-256, so the leading digit distributes uniformly.
+const cacheShards = 16
+
 // Option configures an Engine.
 type Option func(*Engine)
 
-// WithCacheCapacity bounds the number of cached invariants (LRU eviction).
-// Values < 1 are treated as 1.
+// WithCacheCapacity bounds the number of cached invariants.  Capacities up
+// to 16 are enforced exactly (the cache uses one shard per entry);
+// larger capacities are enforced per shard — ⌈capacity/16⌉ entries each —
+// so the effective bound rounds up to the next multiple of 16 (e.g. 17 →
+// 32; Stats reports the effective figure).  Values < 1 are treated as 1.
 func WithCacheCapacity(n int) Option {
 	return func(e *Engine) {
 		if n < 1 {
@@ -62,16 +79,26 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithStore layers the engine over a disk-backed invariant store in dir
+// (created if needed).  Cache misses fall through to disk before recomputing
+// and computed invariants are persisted.  If the directory cannot be opened,
+// the error is reported by StoreErr and by every invariant computation.
+func WithStore(dir string) Option {
+	return func(e *Engine) { e.storeDir = dir }
+}
+
 // Engine is a concurrent topological query engine.  All methods are safe for
 // concurrent use.
 type Engine struct {
-	capacity int
-	workers  int
+	capacity   int
+	workers    int
+	storeDir   string
+	usedShards int // min(cacheShards, capacity): small caches stay exact
 
-	mu       sync.Mutex
-	lru      *list.List // of *entry, front = most recently used
-	cache    map[string]*list.Element
-	inflight map[string]*call
+	shards [cacheShards]cacheShard
+
+	store    *store.Store
+	storeErr error
 
 	// keyMemo memoizes content addresses per instance pointer, so repeated
 	// queries against the same *spatial.Instance do not re-serialize the
@@ -82,12 +109,28 @@ type Engine struct {
 	keyMu   sync.Mutex
 	keyMemo map[*spatial.Instance]string
 
+	computes    atomic.Uint64
+	storeHits   atomic.Uint64
+	storePuts   atomic.Uint64
+	storeErrors atomic.Uint64
+
+	strat [core.ViaLinearized + 1]stratCounters
+}
+
+// cacheShard is one slice of the content-addressed cache: an LRU-bounded
+// key→invariant map plus the in-flight table for singleflight dedup, all
+// under one mutex.
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // of *entry, front = most recently used
+	cache    map[string]*list.Element
+	inflight map[string]*call
+
 	hits      uint64
 	misses    uint64
 	dedups    uint64
 	evictions uint64
-
-	strat [core.ViaLinearized + 1]stratCounters
 }
 
 type entry struct {
@@ -103,9 +146,9 @@ type call struct {
 }
 
 type stratCounters struct {
-	queries uint64
-	errors  uint64
-	latency time.Duration
+	queries   atomic.Uint64
+	errors    atomic.Uint64
+	latencyNS atomic.Int64
 }
 
 // New creates an engine.
@@ -113,15 +156,50 @@ func New(opts ...Option) *Engine {
 	e := &Engine{
 		capacity: DefaultCacheCapacity,
 		workers:  runtime.GOMAXPROCS(0),
-		lru:      list.New(),
-		cache:    make(map[string]*list.Element),
-		inflight: make(map[string]*call),
 		keyMemo:  make(map[*spatial.Instance]string),
 	}
 	for _, o := range opts {
 		o(e)
 	}
+	// A capacity below the shard count would be inflated by per-shard
+	// minimums (capacity 1 becoming 16 resident invariants); routing keys
+	// over only `capacity` shards keeps small caches exactly bounded.
+	e.usedShards = cacheShards
+	if e.capacity < cacheShards {
+		e.usedShards = e.capacity
+	}
+	perShard := (e.capacity + e.usedShards - 1) / e.usedShards
+	// Report the bound actually enforced (per-shard × shards), not the
+	// requested figure, so cache_size can never exceed cache_capacity in a
+	// stats snapshot.
+	e.capacity = perShard * e.usedShards
+	for i := range e.shards {
+		e.shards[i] = cacheShard{
+			capacity: perShard,
+			lru:      list.New(),
+			cache:    make(map[string]*list.Element),
+			inflight: make(map[string]*call),
+		}
+	}
+	if e.storeDir != "" {
+		e.store, e.storeErr = store.Open(e.storeDir)
+	}
 	return e
+}
+
+// StoreErr reports whether WithStore failed to open its directory.  Engines
+// without a store always return nil.
+func (e *Engine) StoreErr() error { return e.storeErr }
+
+// Store returns the engine's disk store, or nil when none is configured.
+func (e *Engine) Store() *store.Store { return e.store }
+
+// Close flushes and closes the disk store, if any.
+func (e *Engine) Close() error {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Close()
 }
 
 // InstanceKey returns the content address of an instance: the hex SHA-256 of
@@ -135,8 +213,27 @@ func InstanceKey(inst *spatial.Instance) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// shardFor routes a content key (hex) to its cache shard.
+func (e *Engine) shardFor(key string) *cacheShard {
+	if len(key) == 0 {
+		return &e.shards[0]
+	}
+	return &e.shards[hexVal(key[0])%e.usedShards]
+}
+
+func hexVal(b byte) int {
+	switch {
+	case b >= '0' && b <= '9':
+		return int(b - '0')
+	case b >= 'a' && b <= 'f':
+		return int(b-'a') + 10
+	default:
+		return 0
+	}
+}
+
 // Invariant returns top(inst), computing it at most once per instance content
-// and serving repeats from the cache.
+// and serving repeats from the memory cache or the disk store.
 func (e *Engine) Invariant(inst *spatial.Instance) (*invariant.Invariant, error) {
 	inv, _, err := e.invariant(inst)
 	return inv, err
@@ -165,48 +262,52 @@ func (e *Engine) key(inst *spatial.Instance) (string, error) {
 }
 
 // CachedInvariant returns the cached invariant for the instance without
-// computing anything; ok is false on a cache miss.
+// computing anything; ok is false on a memory-cache miss (the disk store is
+// not consulted).
 func (e *Engine) CachedInvariant(inst *spatial.Instance) (*invariant.Invariant, bool) {
 	key, err := e.key(inst)
 	if err != nil {
 		return nil, false
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if el, ok := e.cache[key]; ok {
-		e.lru.MoveToFront(el)
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.cache[key]; ok {
+		sh.lru.MoveToFront(el)
 		return el.Value.(*entry).inv, true
 	}
 	return nil, false
 }
 
-// invariant reports whether the invariant came from the cache (hit); waiting
-// on another goroutine's in-flight compute counts as a miss.
+// invariant reports whether the invariant came from the memory cache (hit);
+// waiting on another goroutine's in-flight compute, a disk-store hit and a
+// fresh computation all count as misses.
 func (e *Engine) invariant(inst *spatial.Instance) (inv *invariant.Invariant, hit bool, err error) {
 	key, err := e.key(inst)
 	if err != nil {
 		return nil, false, fmt.Errorf("engine: %w", err)
 	}
+	sh := e.shardFor(key)
 
-	e.mu.Lock()
-	if el, ok := e.cache[key]; ok {
-		e.lru.MoveToFront(el)
-		e.hits++
+	sh.mu.Lock()
+	if el, ok := sh.cache[key]; ok {
+		sh.lru.MoveToFront(el)
+		sh.hits++
 		inv := el.Value.(*entry).inv
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		return inv, true, nil
 	}
-	if c, ok := e.inflight[key]; ok {
-		e.dedups++
-		e.misses++
-		e.mu.Unlock()
+	if c, ok := sh.inflight[key]; ok {
+		sh.dedups++
+		sh.misses++
+		sh.mu.Unlock()
 		<-c.done
 		return c.inv, false, c.err
 	}
 	c := &call{done: make(chan struct{})}
-	e.inflight[key] = c
-	e.misses++
-	e.mu.Unlock()
+	sh.inflight[key] = c
+	sh.misses++
+	sh.mu.Unlock()
 
 	// The inflight entry must be cleared and done closed even if Compute
 	// panics (the geometry layer has panic sites); otherwise every later
@@ -216,31 +317,78 @@ func (e *Engine) invariant(inst *spatial.Instance) (inv *invariant.Invariant, hi
 			c.inv, c.err = nil, fmt.Errorf("engine: invariant computation panicked: %v", r)
 			inv, err = c.inv, c.err
 		}
-		e.mu.Lock()
-		delete(e.inflight, key)
+		sh.mu.Lock()
+		delete(sh.inflight, key)
 		if c.err == nil {
-			e.insert(key, c.inv)
+			sh.insert(key, c.inv)
 		}
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		close(c.done)
 	}()
-	c.inv, c.err = invariant.Compute(inst)
+	c.inv, c.err = e.load(key, inst)
 	return c.inv, false, c.err
 }
 
-// insert adds an entry and evicts from the LRU tail past capacity.
-// Called with e.mu held.
-func (e *Engine) insert(key string, inv *invariant.Invariant) {
-	if el, ok := e.cache[key]; ok {
-		e.lru.MoveToFront(el)
+// load resolves a memory miss: disk store first (when configured), then a
+// fresh computation whose result is persisted back to the store.
+func (e *Engine) load(key string, inst *spatial.Instance) (*invariant.Invariant, error) {
+	if e.storeErr != nil {
+		return nil, fmt.Errorf("engine: invariant store: %w", e.storeErr)
+	}
+	// overwrite is set when the store holds an undecodable blob under this
+	// key: the recomputed invariant must supersede it (a plain Put is a
+	// no-op for present keys, which would leave the corruption in place).
+	overwrite := false
+	if e.store != nil {
+		if data, ok, err := e.store.Get(key); err != nil {
+			e.storeErrors.Add(1)
+			// The key may be present but unreadable; a plain Put would
+			// no-op and leave the bad record in place.
+			overwrite = true
+		} else if ok {
+			inv, derr := codec.DecodeInvariant(data)
+			if derr == nil {
+				e.storeHits.Add(1)
+				return inv, nil
+			}
+			e.storeErrors.Add(1)
+			overwrite = true
+		}
+	}
+	e.computes.Add(1)
+	inv, err := invariant.Compute(inst)
+	if err != nil {
+		return nil, err
+	}
+	if e.store != nil {
+		put := e.store.Put
+		if overwrite {
+			put = e.store.Replace
+		}
+		if data, eerr := codec.EncodeInvariant(inv); eerr != nil {
+			e.storeErrors.Add(1)
+		} else if perr := put(key, data); perr != nil {
+			e.storeErrors.Add(1)
+		} else {
+			e.storePuts.Add(1)
+		}
+	}
+	return inv, nil
+}
+
+// insert adds an entry and evicts from the LRU tail past the shard capacity.
+// Called with sh.mu held.
+func (sh *cacheShard) insert(key string, inv *invariant.Invariant) {
+	if el, ok := sh.cache[key]; ok {
+		sh.lru.MoveToFront(el)
 		return
 	}
-	e.cache[key] = e.lru.PushFront(&entry{key: key, inv: inv})
-	for e.lru.Len() > e.capacity {
-		tail := e.lru.Back()
-		e.lru.Remove(tail)
-		delete(e.cache, tail.Value.(*entry).key)
-		e.evictions++
+	sh.cache[key] = sh.lru.PushFront(&entry{key: key, inv: inv})
+	for sh.lru.Len() > sh.capacity {
+		tail := sh.lru.Back()
+		sh.lru.Remove(tail)
+		delete(sh.cache, tail.Value.(*entry).key)
+		sh.evictions++
 	}
 }
 
@@ -346,14 +494,12 @@ func (e *Engine) record(s core.Strategy, res Result) {
 	if s < 0 || int(s) >= len(e.strat) {
 		return
 	}
-	e.mu.Lock()
 	c := &e.strat[s]
-	c.queries++
+	c.queries.Add(1)
 	if res.Err != nil {
-		c.errors++
+		c.errors.Add(1)
 	}
-	c.latency += res.Latency
-	e.mu.Unlock()
+	c.latencyNS.Add(res.Latency.Nanoseconds())
 }
 
 // StrategyStats is the per-strategy counter snapshot.
@@ -367,38 +513,63 @@ type StrategyStats struct {
 
 // Stats is a point-in-time snapshot of the engine's counters.
 type Stats struct {
-	CacheHits      uint64          `json:"cache_hits"`
-	CacheMisses    uint64          `json:"cache_misses"`
-	CacheDedups    uint64          `json:"cache_dedups"`
-	CacheEvictions uint64          `json:"cache_evictions"`
-	CacheSize      int             `json:"cache_size"`
-	CacheCapacity  int             `json:"cache_capacity"`
-	Strategies     []StrategyStats `json:"strategies"`
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheDedups    uint64 `json:"cache_dedups"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	CacheSize      int    `json:"cache_size"`
+	CacheCapacity  int    `json:"cache_capacity"`
+	CacheShards    int    `json:"cache_shards"`
+	// Computes counts actual invariant.Compute runs: misses that neither
+	// the memory cache, the in-flight table nor the disk store absorbed.
+	Computes uint64 `json:"computes"`
+	// StoreHits / StorePuts / StoreErrors cover the disk store (all zero
+	// when no store is configured).
+	StoreHits   uint64          `json:"store_hits"`
+	StorePuts   uint64          `json:"store_puts"`
+	StoreErrors uint64          `json:"store_errors"`
+	Store       *store.Stats    `json:"store,omitempty"`
+	Strategies  []StrategyStats `json:"strategies"`
 }
 
-// Stats returns a snapshot of the engine's cache and per-strategy counters.
-// Strategies that served no queries are omitted.
+// Stats returns a snapshot of the engine's cache, store and per-strategy
+// counters.  Strategies that served no queries are omitted.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	st := Stats{
-		CacheHits:      e.hits,
-		CacheMisses:    e.misses,
-		CacheDedups:    e.dedups,
-		CacheEvictions: e.evictions,
-		CacheSize:      e.lru.Len(),
-		CacheCapacity:  e.capacity,
+		CacheCapacity: e.capacity,
+		CacheShards:   e.usedShards,
+		Computes:      e.computes.Load(),
+		StoreHits:     e.storeHits.Load(),
+		StorePuts:     e.storePuts.Load(),
+		StoreErrors:   e.storeErrors.Load(),
 	}
-	for s, c := range e.strat {
-		if c.queries == 0 {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		st.CacheHits += sh.hits
+		st.CacheMisses += sh.misses
+		st.CacheDedups += sh.dedups
+		st.CacheEvictions += sh.evictions
+		st.CacheSize += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	if e.store != nil {
+		ss := e.store.Stats()
+		st.Store = &ss
+	}
+	for s := range e.strat {
+		c := &e.strat[s]
+		q := c.queries.Load()
+		if q == 0 {
 			continue
 		}
+		total := time.Duration(c.latencyNS.Load())
 		st.Strategies = append(st.Strategies, StrategyStats{
 			Strategy:     core.Strategy(s).String(),
-			Queries:      c.queries,
-			Errors:       c.errors,
-			TotalLatency: c.latency,
-			AvgLatency:   c.latency / time.Duration(c.queries),
+			Queries:      q,
+			Errors:       c.errors.Load(),
+			TotalLatency: total,
+			AvgLatency:   total / time.Duration(q),
 		})
 	}
 	return st

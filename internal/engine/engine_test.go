@@ -82,12 +82,14 @@ func TestSingleflightDedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Reset to an empty engine state and install a fake in-flight call.
+	// Reset to an empty engine state and install a fake in-flight call in
+	// the key's cache shard.
 	e = New()
 	c := &call{done: make(chan struct{})}
-	e.mu.Lock()
-	e.inflight[key] = c
-	e.mu.Unlock()
+	sh := e.shardFor(key)
+	sh.mu.Lock()
+	sh.inflight[key] = c
+	sh.mu.Unlock()
 
 	got := make(chan error, 1)
 	go func() {
@@ -113,23 +115,47 @@ func TestSingleflightDedup(t *testing.T) {
 	}
 }
 
+// TestLRUEviction pins capacity to one entry per shard and inserts two
+// instances whose content keys collide on a shard: the second insert must
+// evict the first, and only the first.
 func TestLRUEviction(t *testing.T) {
-	e := New(WithCacheCapacity(2))
-	first := nested(t, 2)
-	for _, inst := range []*spatial.Instance{first, nested(t, 3), nested(t, 4)} {
-		if _, err := e.Invariant(inst); err != nil {
+	e := New(WithCacheCapacity(cacheShards)) // one entry per shard
+	byShard := make(map[*cacheShard][]*spatial.Instance)
+	var colliding []*spatial.Instance
+	for levels := 2; levels < 40 && colliding == nil; levels++ {
+		inst := nested(t, levels)
+		key, err := InstanceKey(inst)
+		if err != nil {
 			t.Fatal(err)
 		}
+		sh := e.shardFor(key)
+		byShard[sh] = append(byShard[sh], inst)
+		if len(byShard[sh]) == 2 {
+			colliding = byShard[sh]
+		}
+	}
+	if colliding == nil {
+		t.Fatal("no shard collision among 38 instances (astronomically unlikely)")
+	}
+	first, second := colliding[0], colliding[1]
+	if _, err := e.Invariant(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Invariant(second); err != nil {
+		t.Fatal(err)
 	}
 	st := e.Stats()
-	if st.CacheSize != 2 {
-		t.Errorf("cache size %d, want 2", st.CacheSize)
+	if st.CacheSize != 1 {
+		t.Errorf("cache size %d, want 1", st.CacheSize)
 	}
 	if st.CacheEvictions != 1 {
 		t.Errorf("evictions %d, want 1", st.CacheEvictions)
 	}
 	if _, ok := e.CachedInvariant(first); ok {
 		t.Error("least-recently-used entry was not the one evicted")
+	}
+	if _, ok := e.CachedInvariant(second); !ok {
+		t.Error("most-recent entry was evicted")
 	}
 }
 
@@ -262,7 +288,38 @@ func TestConcurrentInvariant(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	if st := e.Stats(); st.CacheSize > 2 {
-		t.Errorf("cache exceeded its capacity: size %d", st.CacheSize)
+	// Capacity 2 with 16 shards means one entry per shard: the size can
+	// never exceed the number of distinct instances, and no shard may hold
+	// more than one entry.
+	if st := e.Stats(); st.CacheSize > len(instances) {
+		t.Errorf("cache exceeded its bound: size %d", st.CacheSize)
+	}
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+		if n := e.shards[i].lru.Len(); n > 1 {
+			t.Errorf("shard %d holds %d entries, capacity 1", i, n)
+		}
+		e.shards[i].mu.Unlock()
+	}
+}
+
+// TestSmallCapacityIsExact: a capacity below the shard count must bound the
+// cache exactly — not inflate to one entry per shard.
+func TestSmallCapacityIsExact(t *testing.T) {
+	e := New(WithCacheCapacity(1))
+	if st := e.Stats(); st.CacheCapacity != 1 || st.CacheShards != 1 {
+		t.Fatalf("capacity/shards = %d/%d, want 1/1", st.CacheCapacity, st.CacheShards)
+	}
+	for levels := 2; levels <= 5; levels++ {
+		if _, err := e.Invariant(nested(t, levels)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.CacheSize != 1 {
+		t.Errorf("cache size %d with capacity 1, want exactly 1", st.CacheSize)
+	}
+	if st.CacheEvictions != 3 {
+		t.Errorf("evictions %d, want 3", st.CacheEvictions)
 	}
 }

@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// TestStorePersistAndRestart is the paper's economy made durable: a fresh
+// engine pointed at the directory of a previous engine's store must serve
+// invariants from disk without recomputing a single arrangement.
+func TestStorePersistAndRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	e1 := New(WithStore(dir))
+	if err := e1.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	instances := []int{2, 3, 4}
+	for _, levels := range instances {
+		if _, err := e1.Invariant(nested(t, levels)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e1.Stats()
+	if st.Computes != uint64(len(instances)) {
+		t.Errorf("first engine computes = %d, want %d", st.Computes, len(instances))
+	}
+	if st.StorePuts != uint64(len(instances)) {
+		t.Errorf("first engine store puts = %d, want %d", st.StorePuts, len(instances))
+	}
+	if st.StoreHits != 0 {
+		t.Errorf("first engine store hits = %d, want 0", st.StoreHits)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a brand-new engine over the same directory.
+	e2 := New(WithStore(dir))
+	if err := e2.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	for _, levels := range instances {
+		inst := nested(t, levels)
+		inv, err := e2.Invariant(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv == nil || len(inv.Faces) == 0 {
+			t.Fatalf("levels=%d: degenerate invariant from disk", levels)
+		}
+		// Queries over the disk-loaded invariant must still answer.
+		ok, err := e2.Ask(inst, nonEmpty("P"), core.ViaInvariantFixpoint)
+		if err != nil || !ok {
+			t.Fatalf("levels=%d: query over disk-loaded invariant: %v %v", levels, ok, err)
+		}
+	}
+	st = e2.Stats()
+	if st.StoreHits != uint64(len(instances)) {
+		t.Errorf("restarted engine store hits = %d, want %d", st.StoreHits, len(instances))
+	}
+	if st.Computes != 0 {
+		t.Errorf("restarted engine recomputed %d invariants, want 0", st.Computes)
+	}
+	if st.StorePuts != 0 {
+		t.Errorf("restarted engine re-persisted %d invariants, want 0", st.StorePuts)
+	}
+}
+
+// TestStoreHitStillPopulatesMemoryCache: after one disk hit, repeats are
+// memory hits, not repeated disk reads.
+func TestStoreHitStillPopulatesMemoryCache(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(WithStore(dir))
+	if _, err := e1.Invariant(nested(t, 3)); err != nil {
+		t.Fatal(err)
+	}
+	e1.Close()
+
+	e2 := New(WithStore(dir))
+	defer e2.Close()
+	inst := nested(t, 3)
+	if _, err := e2.Invariant(inst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Invariant(inst); err != nil {
+		t.Fatal(err)
+	}
+	st := e2.Stats()
+	if st.StoreHits != 1 {
+		t.Errorf("store hits = %d, want 1 (second call must hit memory)", st.StoreHits)
+	}
+	if st.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", st.CacheHits)
+	}
+}
+
+// TestCorruptStoreBlobRecomputes: a stored blob that passes the store's own
+// framing but fails invariant decoding is treated as absent — the engine
+// recomputes instead of serving corruption.  (Bit-flips inside a record are
+// caught one layer down, by the store's per-record CRC.)
+func TestCorruptStoreBlobRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	inst := nested(t, 2)
+	key, err := InstanceKey(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a well-framed store record whose value is not an invariant.
+	st0, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st0.Put(key, []byte("not a codec blob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st0.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(WithStore(dir))
+	defer e.Close()
+	if _, err := e.Invariant(inst); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Computes != 1 {
+		t.Errorf("computes = %d, want 1 (corrupt blob must force recompute)", st.Computes)
+	}
+	if st.StoreErrors == 0 {
+		t.Error("store errors = 0, want > 0 for the undecodable blob")
+	}
+	if st.StoreHits != 0 {
+		t.Errorf("store hits = %d, want 0", st.StoreHits)
+	}
+	if st.StorePuts != 1 {
+		t.Errorf("store puts = %d, want 1 (recomputed invariant must supersede the bad blob)", st.StorePuts)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The repair must stick: a fresh engine over the same directory now
+	// serves the replaced blob from disk without recomputing.
+	e2 := New(WithStore(dir))
+	defer e2.Close()
+	if _, err := e2.Invariant(nested(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st2 := e2.Stats()
+	if st2.StoreHits != 1 || st2.Computes != 0 || st2.StoreErrors != 0 {
+		t.Errorf("after repair: hits=%d computes=%d errors=%d, want 1/0/0",
+			st2.StoreHits, st2.Computes, st2.StoreErrors)
+	}
+}
+
+// TestWithStoreBadDir: an unopenable store directory surfaces as an error on
+// use, not a silent in-memory fallback.
+func TestWithStoreBadDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := New(WithStore(file))
+	if e.StoreErr() == nil {
+		t.Fatal("StoreErr = nil for a store dir that is a regular file")
+	}
+	if _, err := e.Invariant(nested(t, 2)); err == nil {
+		t.Fatal("Invariant succeeded despite a broken store")
+	}
+}
+
+// TestEngineWithoutStore keeps the storeless path honest: no store counters
+// move and Close is a no-op.
+func TestEngineWithoutStore(t *testing.T) {
+	e := New()
+	if _, err := e.Invariant(nested(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.StoreHits != 0 || st.StorePuts != 0 || st.StoreErrors != 0 || st.Store != nil {
+		t.Errorf("storeless engine moved store counters: %+v", st)
+	}
+	if st.Computes != 1 {
+		t.Errorf("computes = %d, want 1", st.Computes)
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("Close without store: %v", err)
+	}
+}
+
+// TestStoreGetErrorSupersedes: when the store cannot read a present key, the
+// recomputed invariant must supersede the unreadable record (a plain Put
+// would no-op and leave it in place forever).
+func TestStoreGetErrorSupersedes(t *testing.T) {
+	dir := t.TempDir()
+	inst := nested(t, 2)
+	key, err := InstanceKey(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a well-framed record whose value decodes to nothing — the
+	// engine treats it exactly like a Get it cannot use and must replace
+	// it rather than Put around it.
+	st0, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st0.Put(key, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	st0.Close()
+
+	e := New(WithStore(dir))
+	if _, err := e.Invariant(inst); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.StorePuts != 1 {
+		t.Errorf("store puts = %d, want 1 superseding write", st.StorePuts)
+	}
+	if got := e.Store().Stats(); got.Records != 2 || got.Reclaimable != 1 {
+		t.Errorf("store records=%d reclaimable=%d, want 2/1 (superseded junk)", got.Records, got.Reclaimable)
+	}
+	e.Close()
+}

@@ -1,0 +1,383 @@
+package geojson
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/pointfo"
+	"repro/internal/rat"
+	"repro/internal/region"
+)
+
+const twoParcels = `{
+  "type": "FeatureCollection",
+  "features": [
+    {"type": "Feature",
+     "properties": {"name": "forest"},
+     "geometry": {"type": "Polygon", "coordinates": [[[0,0],[10,0],[10,10],[0,10],[0,0]]]}},
+    {"type": "Feature",
+     "properties": {"name": "lake"},
+     "geometry": {"type": "Polygon", "coordinates": [[[2,2],[6,2],[6,6],[2,6],[2,2]]]}},
+    {"type": "Feature",
+     "properties": {"name": "river"},
+     "geometry": {"type": "LineString", "coordinates": [[-5,5],[2,5],[8,4],[15,5]]}}
+  ]
+}`
+
+func TestImportFeatureCollection(t *testing.T) {
+	inst, err := Import([]byte(twoParcels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := inst.Schema().Names()
+	want := []string{"forest", "lake", "river"}
+	if len(names) != len(want) {
+		t.Fatalf("schema %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("schema %v, want %v (first-appearance order)", names, want)
+		}
+	}
+	if n := inst.Region("forest").PointCount(); n != 4 {
+		t.Errorf("forest has %d points, want 4", n)
+	}
+	if d := inst.Region("river").MaxDimension(); d != region.Dim1 {
+		t.Errorf("river dimension %v, want line", d)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The imported instance must flow through the whole pipeline: invariant
+	// computation and querying.  (The invariant-based fixpoint strategy in
+	// this reproduction answers by inverting the invariant, which supports
+	// free-loop components only — the river's junction vertices rule it
+	// out — so the cross-region queries run Direct here; see
+	// TestImportFixpointOnPolygons for the invariant-based path.)
+	db, err := core.Open(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Invariant(); err != nil {
+		t.Fatalf("invariant over imported instance: %v", err)
+	}
+	ans, err := db.Ask(pointfo.QueryIntersect("forest", "lake"), core.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans {
+		t.Error("lake inside forest: Intersects = false")
+	}
+	ans, err = db.Ask(pointfo.QueryIntersect("lake", "river"), core.Direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans {
+		t.Error("river crosses lake: Intersects = false")
+	}
+
+	// And through the codec: imported instances are persistable.
+	data, err := codec.EncodeInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := codec.DecodeInstance(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PointCount() != inst.PointCount() {
+		t.Errorf("codec round-trip changed point count: %d vs %d", back.PointCount(), inst.PointCount())
+	}
+	// Deep equality, not just counts: imported features must use the same
+	// canonical representation (e.g. nil hole slices) as decoded ones.
+	if !reflect.DeepEqual(inst, back) {
+		t.Error("imported instance is not deeply equal to its codec round-trip")
+	}
+}
+
+func TestImportSnapping(t *testing.T) {
+	doc := `{"type":"Feature","properties":{},"geometry":
+	  {"type":"Point","coordinates":[1.00000004, -2.5]}}`
+	inst, err := Import([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := inst.Region(DefaultRegionName).Features[0].Point
+	// 1.00000004 rounds to 1.0 at 7 digits.
+	if !p.X.Equal(rat.FromInt(1)) {
+		t.Errorf("x = %s, want 1 (snapped at default precision)", p.X)
+	}
+	if !p.Y.Equal(rat.New(-5, 2)) {
+		t.Errorf("y = %s, want -5/2", p.Y)
+	}
+
+	// Coarser grid: both coordinates collapse to integers.
+	inst, err = Import([]byte(doc), WithPrecision(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = inst.Region(DefaultRegionName).Features[0].Point
+	// math.Round rounds half away from zero: -2.5 → -3.
+	if !p.Y.Equal(rat.FromInt(-3)) {
+		t.Errorf("y = %s, want -3 at precision 0", p.Y)
+	}
+}
+
+// TestImportFixpointOnPolygons runs an imported polygon-only map through the
+// invariant-based fixpoint strategy (disjoint boundaries are free loops, the
+// class the inversion supports).
+func TestImportFixpointOnPolygons(t *testing.T) {
+	doc := `{"type":"FeatureCollection","features":[
+	  {"type":"Feature","properties":{"name":"forest"},"geometry":
+	    {"type":"Polygon","coordinates":[[[0,0],[10,0],[10,10],[0,10],[0,0]]]}},
+	  {"type":"Feature","properties":{"name":"lake"},"geometry":
+	    {"type":"Polygon","coordinates":[[[2,2],[6,2],[6,6],[2,6],[2,2]]]}}
+	]}`
+	inst, err := Import([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.Open(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := db.Ask(pointfo.QueryIntersect("forest", "lake"), core.ViaInvariantFixpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans {
+		t.Error("lake inside forest: fixpoint Intersects = false")
+	}
+	ans, err = db.Ask(pointfo.QueryContained("lake", "forest"), core.ViaInvariantFixpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans {
+		t.Error("lake in forest: fixpoint Contained = false")
+	}
+}
+
+func TestImportSnappingMergesDuplicates(t *testing.T) {
+	// Vertices 1e-9 apart collapse onto one grid point at precision 7; the
+	// square must survive with its 4 distinct corners.
+	doc := `{"type":"Feature","properties":{},"geometry":{"type":"Polygon","coordinates":[[
+	  [0,0],[0.0000000004,0],[10,0],[10,10],[0,10],[0,0]]]}}`
+	inst, err := Import([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := inst.Region(DefaultRegionName).PointCount(); n != 4 {
+		t.Errorf("snapped square has %d vertices, want 4", n)
+	}
+}
+
+func TestImportPolygonWithHole(t *testing.T) {
+	doc := `{"type":"Feature","properties":{"name":"annulus"},"geometry":
+	  {"type":"Polygon","coordinates":[
+	    [[0,0],[12,0],[12,12],[0,12],[0,0]],
+	    [[4,4],[8,4],[8,8],[4,8],[4,4]]]}}`
+	inst, err := Import([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := inst.Region("annulus").Features[0]
+	if f.Dim != region.Dim2 || len(f.Holes) != 1 {
+		t.Fatalf("feature %+v, want area with 1 hole", f)
+	}
+}
+
+func TestImportMultiGeometries(t *testing.T) {
+	doc := `{"type":"FeatureCollection","features":[
+	  {"type":"Feature","properties":{"name":"islands"},"geometry":
+	    {"type":"MultiPolygon","coordinates":[
+	      [[[0,0],[4,0],[4,4],[0,4],[0,0]]],
+	      [[[10,0],[14,0],[14,4],[10,4],[10,0]]]]}},
+	  {"type":"Feature","properties":{"name":"paths"},"geometry":
+	    {"type":"MultiLineString","coordinates":[[[0,8],[4,8]],[[10,8],[14,8]]]}},
+	  {"type":"Feature","properties":{"name":"wells"},"geometry":
+	    {"type":"MultiPoint","coordinates":[[1,1],[11,1]]}},
+	  {"type":"Feature","properties":{"name":"mix"},"geometry":
+	    {"type":"GeometryCollection","geometries":[
+	      {"type":"Point","coordinates":[20,20]},
+	      {"type":"LineString","coordinates":[[21,21],[22,22]]}]}}
+	]}`
+	inst, err := Import([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(inst.Region("islands").Features); n != 2 {
+		t.Errorf("islands: %d features, want 2", n)
+	}
+	if n := len(inst.Region("paths").Features); n != 2 {
+		t.Errorf("paths: %d features, want 2", n)
+	}
+	if n := len(inst.Region("wells").Features); n != 2 {
+		t.Errorf("wells: %d features, want 2", n)
+	}
+	if n := len(inst.Region("mix").Features); n != 2 {
+		t.Errorf("mix: %d features, want 2", n)
+	}
+}
+
+func TestImportBareGeometryAndNameOptions(t *testing.T) {
+	doc := `{"type":"Polygon","coordinates":[[[0,0],[5,0],[5,5],[0,5],[0,0]]]}`
+	inst, err := Import([]byte(doc), WithDefaultName("parcel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Schema().Has("parcel") {
+		t.Fatalf("schema %v, want [parcel]", inst.Schema().Names())
+	}
+
+	classDoc := `{"type":"FeatureCollection","features":[
+	  {"type":"Feature","properties":{"class":"A"},"geometry":{"type":"Point","coordinates":[0,0]}},
+	  {"type":"Feature","properties":{"class":"B"},"geometry":{"type":"Point","coordinates":[1,1]}}]}`
+	inst, err = Import([]byte(classDoc), WithNameProperty("class"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Schema().Has("A") || !inst.Schema().Has("B") {
+		t.Fatalf("schema %v, want [A B]", inst.Schema().Names())
+	}
+}
+
+func TestImportRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the expected error
+	}{
+		{"not json", `{{{`, "geojson"},
+		{"no type", `{"features":[]}`, "missing \"type\""},
+		{"unknown geometry", `{"type":"Blob","coordinates":[]}`, "unsupported geometry type"},
+		{"empty collection", `{"type":"FeatureCollection","features":[]}`, "no geometries"},
+		{"unclosed ring", `{"type":"Polygon","coordinates":[[[0,0],[5,0],[5,5],[0,5]]]}`, "not closed"},
+		{"short ring", `{"type":"Polygon","coordinates":[[[0,0],[5,0],[0,0]]]}`, "at least 4 positions"},
+		{"degenerate ring", `{"type":"Polygon","coordinates":[[[0,0],[1e-9,0],[0,1e-9],[0,0]]]}`, "degenerate ring"},
+		{"zero-area ring", `{"type":"Polygon","coordinates":[[[0,0],[4,0],[8,0],[0,0]]]}`, "zero area"},
+		{"bowtie ring", `{"type":"Polygon","coordinates":[[[0,0],[5,0],[5,5],[1,-1],[0,0]]]}`, "not a simple polygon"},
+		{"zero-area bowtie", `{"type":"Polygon","coordinates":[[[0,0],[4,4],[4,0],[0,4],[0,0]]]}`, "zero area"},
+		{"hole outside", `{"type":"Polygon","coordinates":[
+		   [[0,0],[4,0],[4,4],[0,4],[0,0]],
+		   [[10,10],[12,10],[12,12],[10,12],[10,10]]]}`, "hole"},
+		{"hole escapes concave notch", `{"type":"Polygon","coordinates":[
+		   [[0,0],[10,0],[10,10],[8,10],[8,2],[2,2],[2,10],[0,10],[0,0]],
+		   [[1,5],[9,5],[9,6],[1,6],[1,5]]]}`, "crosses the outer ring"},
+		{"overlapping holes", `{"type":"Polygon","coordinates":[
+		   [[0,0],[20,0],[20,20],[0,20],[0,0]],
+		   [[2,2],[8,2],[8,8],[2,8],[2,2]],
+		   [[5,5],[12,5],[12,12],[5,12],[5,5]]]}`, "overlaps hole"},
+		{"nested holes", `{"type":"Polygon","coordinates":[
+		   [[0,0],[20,0],[20,20],[0,20],[0,0]],
+		   [[2,2],[12,2],[12,12],[2,12],[2,2]],
+		   [[5,5],[8,5],[8,8],[5,8],[5,5]]]}`, "nested inside hole"},
+		{"null coordinate", `{"type":"Point","coordinates":[null,null]}`, "null coordinate"},
+		{"null in ring", `{"type":"Polygon","coordinates":[[[0,0],[5,null],[5,5],[0,5],[0,0]]]}`, "null coordinate"},
+		{"degenerate line", `{"type":"LineString","coordinates":[[0,0],[1e-9,1e-9]]}`, "degenerate LineString"},
+		{"one-point line", `{"type":"LineString","coordinates":[[0,0]]}`, "at least 2 positions"},
+		{"short position", `{"type":"Point","coordinates":[1]}`, "at least 2 coordinates"},
+		{"huge coordinate", `{"type":"Point","coordinates":[1e300,0]}`, "out of range"},
+		{"bad name property", `{"type":"FeatureCollection","features":[
+		   {"type":"Feature","properties":{"name":42},"geometry":{"type":"Point","coordinates":[0,0]}}]}`, "non-empty string"},
+		{"feature type typo", `{"type":"FeatureCollection","features":[
+		   {"type":"Faeture","properties":{},"geometry":{"type":"Point","coordinates":[0,0]}}]}`, "want \"Feature\""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Import([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Import accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestImportDeepGeometryCollection(t *testing.T) {
+	inner := `{"type":"Point","coordinates":[0,0]}`
+	for i := 0; i < maxGeometryDepth+1; i++ {
+		inner = fmt.Sprintf(`{"type":"GeometryCollection","geometries":[%s]}`, inner)
+	}
+	if _, err := Import([]byte(inner)); err == nil {
+		t.Fatal("unbounded GeometryCollection nesting accepted")
+	}
+}
+
+// TestImportTopologyNotEmbedding: the same map drawn at a different offset
+// and scale must produce a topologically equivalent instance — the content
+// the engine stores is the topology, not the coordinates.
+func TestImportTopologyNotEmbedding(t *testing.T) {
+	a, err := Import([]byte(twoParcels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := strings.NewReplacer(
+		"[0,0]", "[1000.5,2000.5]", "[10,0]", "[1020.5,2000.5]",
+		"[10,10]", "[1020.5,2020.5]", "[0,10]", "[1000.5,2020.5]",
+		"[2,2]", "[1004.5,2004.5]", "[6,2]", "[1012.5,2004.5]",
+		"[6,6]", "[1012.5,2012.5]", "[2,6]", "[1004.5,2012.5]",
+		"[-5,5]", "[990.5,2010.5]", "[2,5]", "[1004.5,2010.5]",
+		"[8,4]", "[1016.5,2008.5]", "[15,5]", "[1030.5,2010.5]",
+	).Replace(twoParcels)
+	b, err := Import([]byte(shifted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := core.TopologicallyEquivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("translated+scaled import is not topologically equivalent")
+	}
+}
+
+// TestImportVertexBudget: per-ring and per-document position caps bound the
+// quadratic validation cost.
+func TestImportVertexBudget(t *testing.T) {
+	var ring strings.Builder
+	ring.WriteString(`{"type":"LineString","coordinates":[`)
+	for i := 0; i <= MaxRingVertices; i++ {
+		fmt.Fprintf(&ring, "[%d,0],", i)
+	}
+	ring.WriteString(`[0,1]]}`)
+	if _, err := Import([]byte(ring.String())); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized line accepted: %v", err)
+	}
+
+	var doc strings.Builder
+	doc.WriteString(`{"type":"MultiPoint","coordinates":[`)
+	for i := 0; i <= MaxDocumentPositions; i++ {
+		fmt.Fprintf(&doc, "[%d,0],", i)
+	}
+	doc.WriteString(`[0,1]]}`)
+	if _, err := Import([]byte(doc.String())); err == nil || !strings.Contains(err.Error(), "positions") {
+		t.Errorf("oversized document accepted: %v", err)
+	}
+}
+
+// TestImportPolygonPositionBudget: a polygon's combined ring size is capped
+// (the hole-containment checks are quadratic in it).
+func TestImportPolygonPositionBudget(t *testing.T) {
+	var doc strings.Builder
+	doc.WriteString(`{"type":"Polygon","coordinates":[[`)
+	n := MaxPolygonPositions/2 + 1
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&doc, "[%d,0],", i)
+	}
+	doc.WriteString(`[0,1],[0,0]],[`)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&doc, "[%d,2],", i)
+	}
+	doc.WriteString(`[0,3],[0,2]]]}`)
+	if _, err := Import([]byte(doc.String())); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized polygon accepted: %v", err)
+	}
+}

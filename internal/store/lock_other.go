@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms get no advisory lock: Open still creates the LOCK file
+// for visibility, but concurrent cross-process opens are not detected.
+func acquireDirLock(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}
+
+func releaseDirLock(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

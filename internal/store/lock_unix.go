@@ -1,0 +1,34 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireDirLock takes a non-blocking exclusive advisory lock on path.  Two
+// processes appending to the same shard logs would silently corrupt each
+// other's offsets, so a second Open of a live store directory must fail
+// loudly instead.  The lock dies with the process, so a crash never leaves
+// the directory stuck.
+func acquireDirLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("already open in another process (flock: %w)", err)
+	}
+	return f, nil
+}
+
+func releaseDirLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

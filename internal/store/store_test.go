@@ -1,0 +1,475 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// testKey returns a deterministic hex key whose shard prefix varies with i.
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte)
+	for i := 0; i < 64; i++ {
+		k := testKey(i)
+		v := bytes.Repeat([]byte{byte(i)}, i+1)
+		want[k] = v
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", s.Len())
+	}
+	check := func(s *Store) {
+		t.Helper()
+		for k, v := range want {
+			got, ok, err := s.Get(k)
+			if err != nil || !ok {
+				t.Fatalf("Get(%s) = ok=%v err=%v", k[:8], ok, err)
+			}
+			if !bytes.Equal(got, v) {
+				t.Fatalf("Get(%s) wrong bytes", k[:8])
+			}
+		}
+		if _, ok, err := s.Get(testKey(999)); ok || err != nil {
+			t.Fatalf("absent key: ok=%v err=%v", ok, err)
+		}
+	}
+	check(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: everything must come back from disk, manifest verified.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 64 {
+		t.Fatalf("reopened Len = %d, want 64", s2.Len())
+	}
+	check(s2)
+}
+
+func TestPutIsContentAddressedNoop(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	k := testKey(1)
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats().Bytes
+	// Content addressing: a re-put of an existing key must not grow the log.
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats().Bytes; after != before {
+		t.Errorf("re-put grew log: %d -> %d bytes", before, after)
+	}
+	got, ok, _ := s.Get(k)
+	if !ok || string(got) != "payload" {
+		t.Errorf("Get after re-put: %q ok=%v", got, ok)
+	}
+}
+
+func TestCompactPreservesContent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte)
+	for i := 0; i < 40; i++ {
+		k := testKey(i)
+		v := []byte(fmt.Sprintf("value-%d", i))
+		want[k] = v
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range want {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, v) {
+			t.Fatalf("after compact Get(%s): ok=%v err=%v", k[:8], ok, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 40 {
+		t.Fatalf("Len after compact+reopen = %d, want 40", s2.Len())
+	}
+}
+
+func TestTornTailIsRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(7)
+	if err := s.Put(k, []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: garbage after the last manifest-verified
+	// record.
+	shardPath := filepath.Join(dir, "shards", k[:1]+".log")
+	f, err := os.OpenFile(shardPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer s2.Close()
+	got, ok, err := s2.Get(k)
+	if err != nil || !ok || string(got) != "survivor" {
+		t.Fatalf("record before torn tail lost: %q ok=%v err=%v", got, ok, err)
+	}
+	// The torn bytes must be gone so later appends start at a clean offset.
+	info, err := os.Stat(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Put(testKey(8+16), nil); err != nil { // any key; may land elsewhere
+		t.Fatal(err)
+	}
+	if info2, _ := os.Stat(shardPath); info2.Size() < info.Size() {
+		t.Fatalf("shard shrank unexpectedly: %d -> %d", info.Size(), info2.Size())
+	}
+}
+
+func TestManifestChecksumDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(3)
+	if err := s.Put(k, bytes.Repeat([]byte("x"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the manifest-covered region of the shard.
+	shardPath := filepath.Join(dir, "shards", k[:1]+".log")
+	data, err := os.ReadFile(shardPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(shardPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a shard that fails its manifest checksum")
+	}
+}
+
+func TestBadKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("", []byte("v")); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.Put("ZZZZ", []byte("v")); err == nil {
+		t.Error("non-hex key accepted")
+	}
+	if _, ok, err := s.Get("ZZZZ"); ok || err == nil {
+		t.Error("Get of non-hex key did not error")
+	}
+	if s.Has("ZZZZ") {
+		t.Error("Has reported a non-hex key")
+	}
+}
+
+func TestPrefixLenPersistsInManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithPrefixLen(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen without the option: the manifest's fan-out wins.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().Shards; got != 256 {
+		t.Fatalf("reopened with %d shards, want 256", got)
+	}
+	if !s2.Has(testKey(1)) {
+		t.Fatal("key lost across prefix-len reopen")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := testKey(i) // all goroutines race on the same keys
+				if err := s.Put(k, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok, err := s.Get(k); err != nil || !ok || string(v) != fmt.Sprintf("value-%d", i) {
+					t.Errorf("Get(%s) = %q ok=%v err=%v", k[:8], v, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 50 {
+		t.Fatalf("Len = %d, want 50 (racing re-puts must dedup)", s.Len())
+	}
+}
+
+func TestStatsAndKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Put(testKey(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Keys != 10 || st.Records != 10 || st.Shards != 16 || st.Bytes == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	keys := s.Keys()
+	if len(keys) != 10 {
+		t.Fatalf("Keys returned %d entries", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("Keys not sorted")
+		}
+	}
+}
+
+func TestReplaceSupersedes(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(5)
+	if err := s.Put(k, []byte("bad")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replace(k, []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := s.Get(k)
+	if !ok || string(got) != "good" {
+		t.Fatalf("Get after Replace = %q ok=%v", got, ok)
+	}
+	st := s.Stats()
+	if st.Keys != 1 || st.Records != 2 || st.Reclaimable != 1 {
+		t.Errorf("stats after replace: %+v, want 1 key / 2 records / 1 reclaimable", st)
+	}
+	// The superseded record survives a reopen (last record wins the scan)…
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ = s2.Get(k)
+	if !ok || string(got) != "good" {
+		t.Fatalf("Get after reopen = %q ok=%v", got, ok)
+	}
+	// …and Compact reclaims it.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Records != 1 || st.Reclaimable != 0 {
+		t.Errorf("stats after compact: %+v, want 1 record / 0 reclaimable", st)
+	}
+	got, ok, _ = s2.Get(k)
+	if !ok || string(got) != "good" {
+		t.Fatalf("Get after compact = %q ok=%v", got, ok)
+	}
+	s2.Close()
+}
+
+func TestOpenLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second Open of a live store directory succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
+}
+
+// TestManifestWrittenAtCreation: the fan-out must be recorded before any
+// Sync/Close, so a crash right after creation cannot strand the directory
+// with an ambiguous prefix length.
+func TestManifestWrittenAtCreation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithPrefixLen(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey(1), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: release the lock without Sync/Close bookkeeping.
+	releaseDirLock(s.lock)
+	s.lock = nil
+
+	// Reopen with a conflicting option: the manifest's fan-out must win.
+	s2, err := Open(dir, WithPrefixLen(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().Shards; got != 256 {
+		t.Fatalf("reopened with %d shards, want 256 from the creation manifest", got)
+	}
+	if !s2.Has(testKey(1)) {
+		t.Fatal("key invisible after crash-reopen with conflicting prefix option")
+	}
+}
+
+// TestCompactCrashWindowIsReopenable: between a shard's compaction rename
+// and the manifest rewrite, the shard has no manifest entry — a crash in
+// that window must leave a directory Open can still load (rescan, not a
+// checksum hard-fail).
+func TestCompactCrashWindowIsReopenable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(9)
+	if err := s.Put(k, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replace(k, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil { // manifest now records the 2-record log
+		t.Fatal(err)
+	}
+	// Reproduce Compact's crash window by hand: manifest entry dropped,
+	// shard swapped, process dies before the final manifest write.
+	prefix := k[:1]
+	if err := s.writeManifestLocked(map[string]bool{prefix: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.shards[prefix].compact(); err != nil {
+		t.Fatal(err)
+	}
+	releaseDirLock(s.lock) // crash: no Close, no final manifest
+	s.lock = nil
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after simulated compact crash: %v", err)
+	}
+	defer s2.Close()
+	got, ok, err := s2.Get(k)
+	if err != nil || !ok || string(got) != "v2" {
+		t.Fatalf("Get after compact crash = %q ok=%v err=%v", got, ok, err)
+	}
+	if st := s2.Stats(); st.Records != 1 {
+		t.Errorf("records = %d, want 1 (compacted log)", st.Records)
+	}
+}
+
+func TestCorruptManifestPrefixLenRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Replace(data, []byte(`"prefix_len": 1`), []byte(`"prefix_len": 0`), 1)
+	if bytes.Equal(bad, data) {
+		t.Fatal("test setup: prefix_len not found in manifest")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST.json"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a manifest with prefix_len 0")
+	}
+}

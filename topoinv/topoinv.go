@@ -24,12 +24,14 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/geojson"
 	"repro/internal/geom"
 	"repro/internal/invariant"
 	"repro/internal/pointfo"
 	"repro/internal/region"
 	"repro/internal/spatial"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -62,6 +64,14 @@ type (
 	BatchResult = engine.Result
 	// EngineOption configures NewEngine.
 	EngineOption = engine.Option
+	// Store is the disk-backed, sharded, content-addressed invariant store.
+	Store = store.Store
+	// StoreStats summarises a Store's disk footprint.
+	StoreStats = store.Stats
+	// StoreOption configures OpenStore.
+	StoreOption = store.Option
+	// GeoJSONOption configures ImportGeoJSON.
+	GeoJSONOption = geojson.Option
 )
 
 // Evaluation strategies (the paper's options (i)–(iv)).
@@ -119,9 +129,42 @@ var (
 	WithCacheCapacity = engine.WithCacheCapacity
 	// WithWorkers sets the engine's Batch worker-pool size.
 	WithWorkers = engine.WithWorkers
+	// WithStore layers the engine over a disk-persistent invariant store:
+	// cache misses fall through to disk before recomputing, and computed
+	// invariants are persisted for the next process.
+	WithStore = engine.WithStore
 	// InstanceKey returns the content address (hex SHA-256 of the encoding)
 	// of an instance.
 	InstanceKey = engine.InstanceKey
+	// OpenStore opens (creating if needed) a standalone invariant store
+	// directory, independent of any engine.
+	OpenStore = store.Open
+	// StorePrefixLen sets a new store directory's shard fan-out.
+	StorePrefixLen = store.WithPrefixLen
+	// StoreFsync makes every store write fsync before returning.
+	StoreFsync = store.WithFsync
+)
+
+// GeoJSON import: user-supplied Polygon/MultiPolygon/LineString/Point
+// FeatureCollections become spatial instances with exact rational
+// coordinates.
+var (
+	// ImportGeoJSON parses a GeoJSON document into an Instance, snapping
+	// float coordinates onto a rational grid and validating the topology.
+	ImportGeoJSON = geojson.Import
+	// GeoJSONPrecision sets the decimal snapping grid.
+	GeoJSONPrecision = geojson.WithPrecision
+	// GeoJSONNameProperty sets the feature property used as region name.
+	GeoJSONNameProperty = geojson.WithNameProperty
+	// GeoJSONDefaultName sets the region name for unnamed features.
+	GeoJSONDefaultName = geojson.WithDefaultName
+)
+
+// GeoJSON import defaults.
+const (
+	GeoJSONDefaultPrecision    = geojson.DefaultPrecision
+	GeoJSONDefaultNameProperty = geojson.DefaultNameProperty
+	GeoJSONDefaultRegionName   = geojson.DefaultRegionName
 )
 
 // Region constructors.

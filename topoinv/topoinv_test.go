@@ -73,3 +73,65 @@ func TestPublicWorkloadsAndMeasure(t *testing.T) {
 		t.Error("NonEmpty should hold")
 	}
 }
+
+// TestPublicPersistenceSurface drives the PR-2 public surface end to end:
+// GeoJSON import, a standalone store, and an engine persisting to disk
+// across a restart.
+func TestPublicPersistenceSurface(t *testing.T) {
+	doc := []byte(`{"type":"FeatureCollection","features":[
+	  {"type":"Feature","properties":{"name":"P"},"geometry":
+	    {"type":"Polygon","coordinates":[[[0,0],[10,0],[10,10],[0,10],[0,0]]]}},
+	  {"type":"Feature","properties":{"name":"Q"},"geometry":
+	    {"type":"Polygon","coordinates":[[[3,3],[6,3],[6,6],[3,6],[3,3]]]}}]}`)
+	inst, err := topoinv.ImportGeoJSON(doc, topoinv.GeoJSONPrecision(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := topoinv.InstanceKey(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Standalone store round trip.
+	dir := t.TempDir()
+	st, err := topoinv.OpenStore(dir, topoinv.StorePrefixLen(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := topoinv.Encode(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(key, blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Engine persistence across a restart.
+	engDir := t.TempDir()
+	eng := topoinv.NewEngine(topoinv.WithStore(engDir))
+	if err := eng.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Invariant(inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := topoinv.NewEngine(topoinv.WithStore(engDir))
+	defer eng2.Close()
+	ok, err := eng2.Ask(inst, topoinv.Intersects("P", "Q"), topoinv.ViaInvariantFixpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Q inside P: Intersects = false")
+	}
+	stats := eng2.Stats()
+	if stats.StoreHits != 1 || stats.Computes != 0 {
+		t.Errorf("restarted engine: store_hits=%d computes=%d, want 1/0", stats.StoreHits, stats.Computes)
+	}
+}
