@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// report, so CI can archive benchmark results as BENCH_*.json artifacts and
+// the asymptotic claims pinned by the benchmarks (e.g. quadratic-vs-sweep
+// import validation) stay comparable across commits.
+//
+//	go test -run='^$' -bench=. -benchtime=1x ./... | benchjson -o BENCH_ci.json
+//
+// Each benchmark line
+//
+//	BenchmarkImportValidation/sweep/10000v-8   3   40563681 ns/op   12 extra/op
+//
+// becomes
+//
+//	{"name":"ImportValidation/sweep/10000v","procs":8,"iterations":3,
+//	 "ns_per_op":40563681,"metrics":{"extra/op":12}}
+//
+// Non-benchmark lines (pkg headers, PASS/ok) pass through into the report's
+// "context" list, preserving goos/goarch/cpu provenance.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Context []string      `json:"context,omitempty"`
+	Results []benchResult `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Results), *out)
+}
+
+func parse(sc *bufio.Scanner) (*report, error) {
+	rep := &report{}
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+		case strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") ||
+			strings.HasPrefix(line, "pkg:") || strings.HasPrefix(line, "cpu:"):
+			rep.Context = append(rep.Context, line)
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBenchLine(line); ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one benchmark result line.  The shape is
+// "BenchmarkName[-procs] N [value unit]..." with whitespace-separated
+// fields; unparsable lines are skipped rather than failing the report.
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return benchResult{}, false
+	}
+	r := benchResult{Name: strings.TrimPrefix(fields[0], "Benchmark")}
+	if i := strings.LastIndexByte(r.Name, '-'); i >= 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Procs = p
+			r.Name = r.Name[:i]
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	r.Iterations = n
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Metrics == nil {
+			r.Metrics = map[string]float64{}
+		}
+		r.Metrics[unit] = v
+	}
+	return r, true
+}

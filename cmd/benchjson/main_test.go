@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro/internal/sweep
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkImportValidation/quadratic/1000v-8         	       3	  71879190 ns/op
+BenchmarkImportValidation/sweep/10000v-8            	       3	  40563681 ns/op
+BenchmarkE1LandUseCompression-8                     	       1	 500000000 ns/op	        91.50 raw/inv
+PASS
+ok  	repro/internal/sweep	34.532s
+`
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Context) != 4 {
+		t.Errorf("context lines = %d, want 4", len(rep.Context))
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "ImportValidation/quadratic/1000v" || r.Procs != 8 || r.Iterations != 3 || r.NsPerOp != 71879190 {
+		t.Errorf("first result parsed as %+v", r)
+	}
+	if got := rep.Results[2].Metrics["raw/inv"]; got != 91.5 {
+		t.Errorf("custom metric = %v, want 91.5", got)
+	}
+	if rep.Results[2].Name != "E1LandUseCompression" {
+		t.Errorf("name = %q", rep.Results[2].Name)
+	}
+}
+
+func TestParseSkipsGarbage(t *testing.T) {
+	in := "Benchmark\nBenchmarkX-4 notanumber\nrandom line\n"
+	rep, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("garbage produced %d results", len(rep.Results))
+	}
+}

@@ -3,6 +3,15 @@
 // the float coordinates onto an exact rational grid, validates the topology
 // and emits the instance in the versioned binary format — ready for decode,
 // serve or content-addressed storage.
+//
+// Validation runs the Bentley–Ottmann sweep (internal/sweep) with exact
+// rational event ordering, so shapefile-scale geometry is practical: rings
+// up to 100,000 vertices (a 50k-vertex ring imports in ≈0.5s), 120,000
+// positions per polygon including holes, 3,000,000 positions per document.
+// Rejected topology: unclosed, self-intersecting or zero-area rings;
+// geometry that degenerates under snapping; holes that cross, touch (even
+// at a single point) or escape their outer ring, or overlap or nest inside
+// each other.
 package main
 
 import (

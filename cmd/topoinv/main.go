@@ -114,6 +114,9 @@ var strategies = map[string]topoinv.Strategy{
 	"fo":         topoinv.ViaInvariantFO,
 	"fixpoint":   topoinv.ViaInvariantFixpoint,
 	"linearized": topoinv.ViaLinearized,
+	// auto picks fixpoint when the instance's invariant supports inversion
+	// and falls back to direct otherwise, instead of erroring.
+	"auto": topoinv.Auto,
 }
 
 func runEncode(args []string) {

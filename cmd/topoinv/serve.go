@@ -4,7 +4,9 @@
 //	POST /v1/instances          load an instance: {"workload":"landuse","scale":1},
 //	                            {"data":"<base64 of a topoinv encode blob>"} or
 //	                            {"geojson":{…FeatureCollection…},"precision":7};
-//	                            returns the content-addressed instance id
+//	                            gzipped bodies accepted via Content-Encoding:
+//	                            gzip (1MB post-inflate cap); returns the
+//	                            content-addressed instance id
 //	GET  /v1/instances          list loaded instances
 //	GET  /v1/instances/{id}/invariant
 //	                            compute (or fetch from cache) the invariant;
@@ -17,14 +19,17 @@
 package main
 
 import (
+	"compress/gzip"
 	"encoding/base64"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -122,26 +127,61 @@ type loadResponse struct {
 	Points   int    `json:"points"`
 }
 
-// Body limits: ring validation is quadratic in vertex count in exact
-// rational arithmetic, so unbounded uploads are a CPU DoS, not just a memory
-// one.  maxBodyBytes caps every request body; maxGeoJSONBytes caps inline
-// GeoJSON early, and the importer's own position limits (MaxRingVertices /
-// MaxPolygonPositions / MaxDocumentPositions) bound the validation cost:
-// typical cartographic data (~80 vertices per polygon) validates in
-// milliseconds, while a maximally adversarial document is bounded to tens
-// of seconds rather than unbounded minutes.
+// Body limits: geometry validation is O((n+k) log n) via the sweep-line
+// checker, but unbounded uploads are still a memory and parsing DoS.
+// maxBodyBytes caps every request body; maxGeoJSONBytes caps inline GeoJSON
+// early (and is also the post-inflate cap for gzip uploads), and the
+// importer's own position limits (MaxRingVertices / MaxPolygonPositions /
+// MaxDocumentPositions) bound the validation cost: typical cartographic
+// data (~80 vertices per polygon) validates in microseconds, a maximal
+// 100k-vertex ring in about half a second.
 const (
 	maxBodyBytes    = 8 << 20
 	maxGeoJSONBytes = 1 << 20
 )
 
-func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+// readLoadBody decodes the load request, transparently inflating
+// Content-Encoding: gzip bodies.  Compressed uploads matter for GeoJSON —
+// coordinate-heavy JSON compresses ~10x, so the raised vertex budgets stay
+// reachable through reasonable request sizes.  The inflated bytes are
+// capped at maxGeoJSONBytes (a gzip bomb fails fast with 413); uncompressed
+// bodies keep the larger maxBodyBytes cap, since base64 instance blobs
+// arrive uncompressed.
+func readLoadBody(w http.ResponseWriter, r *http.Request) (*loadRequest, int, error) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req loadRequest
+	if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
+		zr, err := gzip.NewReader(r.Body)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad gzip body: %v", err)
+		}
+		defer zr.Close()
+		data, err := io.ReadAll(io.LimitReader(zr, maxGeoJSONBytes+1))
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad gzip body: %v", err)
+		}
+		if len(data) > maxGeoJSONBytes {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("gzipped body inflates past %d bytes", maxGeoJSONBytes)
+		}
+		if err := json.Unmarshal(data, &req); err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
+		}
+		return &req, 0, nil
+	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return nil, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
+	}
+	return &req, 0, nil
+}
+
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	reqp, status, err := readLoadBody(w, r)
+	if err != nil {
+		httpError(w, status, "%v", err)
 		return
 	}
+	req := *reqp
 	if len(req.GeoJSON) > maxGeoJSONBytes {
 		httpError(w, http.StatusBadRequest, "geojson document larger than %d bytes", maxGeoJSONBytes)
 		return
@@ -342,7 +382,7 @@ func parseStrategy(name string) (topoinv.Strategy, error) {
 	}
 	s, ok := strategies[name]
 	if !ok {
-		return 0, fmt.Errorf("unknown strategy %q (want direct | fo | fixpoint | linearized)", name)
+		return 0, fmt.Errorf("unknown strategy %q (want direct | fo | fixpoint | linearized | auto)", name)
 	}
 	return s, nil
 }
@@ -378,7 +418,9 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		Answer:   res.Answer,
 		CacheHit: res.CacheHit,
 		Latency:  res.Latency.Nanoseconds(),
-		Strategy: strat.String(),
+		// The strategy that actually ran: for "auto" this is the resolved
+		// one (fixpoint or the direct fallback).
+		Strategy: res.Strategy.String(),
 	})
 }
 
@@ -392,6 +434,7 @@ type batchItemResponse struct {
 	Error    string `json:"error,omitempty"`
 	CacheHit bool   `json:"cache_hit"`
 	Latency  int64  `json:"latency_ns"`
+	Strategy string `json:"strategy"`
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -427,6 +470,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Answer:   res.Answer,
 			CacheHit: res.CacheHit,
 			Latency:  res.Latency.Nanoseconds(),
+			Strategy: res.Strategy.String(),
 		}
 		if res.Err != nil {
 			out[i].Error = res.Err.Error()

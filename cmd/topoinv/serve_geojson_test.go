@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -208,5 +211,101 @@ func TestServeNullGeoJSONFallsThrough(t *testing.T) {
 	}
 	if loaded.ID == "" || loaded.Points == 0 {
 		t.Fatalf("workload not loaded: %+v", loaded)
+	}
+}
+
+// TestServeGzipUpload: POST /v1/instances honours Content-Encoding: gzip —
+// a compressed GeoJSON document loads like its plain equivalent — while a
+// decompression bomb is cut off at the 1MB post-inflate cap with 413 before
+// it can balloon in memory.
+func TestServeGzipUpload(t *testing.T) {
+	ts := testServer(t)
+
+	doc := `{"geojson":{"type":"FeatureCollection","features":[
+	  {"type":"Feature","properties":{"name":"forest"},"geometry":
+	    {"type":"Polygon","coordinates":[[[0,0],[10,0],[10,10],[0,10],[0,0]]]}},
+	  {"type":"Feature","properties":{"name":"lake"},"geometry":
+	    {"type":"Polygon","coordinates":[[[2,2],[6,2],[6,6],[2,6],[2,2]]]}}
+	]}}`
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/instances", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("gzip upload: status %d: %s", resp.StatusCode, body)
+	}
+	var loaded loadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Regions != 2 || loaded.Points != 8 {
+		t.Errorf("gzip upload loaded %d regions / %d points, want 2 / 8", loaded.Regions, loaded.Points)
+	}
+	// The loaded instance is fully usable.
+	var ans askResponse
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Query: "intersects", Regions: []string{"forest", "lake"}, Strategy: "auto"}, &ans); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask on gzip-loaded instance: status %d", resp.StatusCode)
+	}
+	if !ans.Answer {
+		t.Error("lake inside forest: Intersects = false")
+	}
+
+	// A decompression bomb: ~64MB of zeros squeezes into a few KB of gzip,
+	// and must be rejected at the inflate cap, not after materialising.
+	var bomb bytes.Buffer
+	zw = gzip.NewWriter(&bomb)
+	zeros := make([]byte, 1<<20)
+	for i := 0; i < 64; i++ {
+		if _, err := zw.Write(zeros); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	req, err = http.NewRequest(http.MethodPost, ts.URL+"/v1/instances", bytes.NewReader(bomb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("decompression bomb: status %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+
+	// Truncated gzip is a plain bad request.
+	req, err = http.NewRequest(http.MethodPost, ts.URL+"/v1/instances", bytes.NewReader(buf.Bytes()[:10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated gzip: status %d, want 400", resp.StatusCode)
 	}
 }

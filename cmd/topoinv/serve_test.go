@@ -227,3 +227,61 @@ func TestServeErrors(t *testing.T) {
 		t.Errorf("unknown strategy: status %d, want 400", resp.StatusCode)
 	}
 }
+
+// TestServeAutoStrategy: the "auto" strategy is accepted by ask and batch,
+// resolves per instance (fixpoint on invertible invariants, direct fallback
+// on junction-vertex workloads), reports the resolved strategy in the
+// response, and surfaces the fallback counters in /v1/stats.
+func TestServeAutoStrategy(t *testing.T) {
+	ts := testServer(t)
+
+	var nestedInst, landuseInst loadResponse
+	if resp := postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "nested", Scale: 1}, &nestedInst); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load nested: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "landuse", Scale: 1}, &landuseInst); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load landuse: status %d", resp.StatusCode)
+	}
+
+	var ans askResponse
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: nestedInst.ID, Query: "nonempty", Regions: []string{"P"}, Strategy: "auto"}, &ans); resp.StatusCode != http.StatusOK {
+		t.Fatalf("auto ask (nested): status %d", resp.StatusCode)
+	}
+	if ans.Strategy != "via-invariant-fixpoint" {
+		t.Errorf("nested auto strategy = %q, want via-invariant-fixpoint", ans.Strategy)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: landuseInst.ID, Query: "nonempty", Regions: []string{"class00"}, Strategy: "auto"}, &ans); resp.StatusCode != http.StatusOK {
+		t.Fatalf("auto ask (landuse): status %d", resp.StatusCode)
+	}
+	if ans.Strategy != "direct" {
+		t.Errorf("landuse auto strategy = %q, want direct (fixpoint hard-errors on junction vertices)", ans.Strategy)
+	}
+
+	var batch []batchItemResponse
+	breq := batchRequest{Strategy: "auto", Requests: []askRequest{
+		{ID: nestedInst.ID, Query: "hasinterior", Regions: []string{"P"}},
+		{ID: landuseInst.ID, Query: "intersects", Regions: []string{"class00", "class01"}},
+	}}
+	if resp := postJSON(t, ts.URL+"/v1/batch", breq, &batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("auto batch: status %d", resp.StatusCode)
+	}
+	for i, r := range batch {
+		if r.Error != "" {
+			t.Errorf("batch item %d errored: %s", i, r.Error)
+		}
+	}
+	if batch[0].Strategy != "via-invariant-fixpoint" || batch[1].Strategy != "direct" {
+		t.Errorf("batch auto strategies = %q/%q, want fixpoint/direct", batch[0].Strategy, batch[1].Strategy)
+	}
+
+	var stats topoinv.EngineStats
+	if resp := getJSON(t, ts.URL+"/v1/stats", &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	if stats.AutoQueries != 4 {
+		t.Errorf("auto_queries = %d, want 4", stats.AutoQueries)
+	}
+	if stats.AutoFallbacks != 2 {
+		t.Errorf("auto_fallbacks = %d, want 2", stats.AutoFallbacks)
+	}
+}

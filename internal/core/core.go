@@ -37,6 +37,15 @@ const (
 	// ViaLinearized re-embeds the invariant as a linear instance and
 	// evaluates the query there.
 	ViaLinearized
+	// Auto picks the strategy per instance: ViaInvariantFixpoint when the
+	// invariant is in the class the fixpoint machinery can invert (every
+	// skeleton component a free loop or an isolated vertex), Direct
+	// otherwise.  ViaInvariantFixpoint hard-errors outside that class —
+	// e.g. land-use maps whose shared parcel borders create junction
+	// vertices, or hydrography polylines with degree-1 endpoints — so Auto
+	// is the strategy a front end can use unconditionally: every query is
+	// answered, on the invariant whenever the theory allows it.
+	Auto
 )
 
 func (s Strategy) String() string {
@@ -49,6 +58,8 @@ func (s Strategy) String() string {
 		return "via-invariant-fixpoint"
 	case ViaLinearized:
 		return "via-linearized"
+	case Auto:
+		return "auto"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
@@ -110,8 +121,27 @@ func (db *Database) evaluator() (*pointfo.Evaluator, error) {
 	return db.ev, nil
 }
 
+// Resolve maps Auto to the concrete strategy this database's instance
+// supports: ViaInvariantFixpoint when the invariant is invertible, Direct
+// otherwise.  Concrete strategies resolve to themselves.  An invariant
+// computation failure also resolves Auto to Direct — direct evaluation
+// never needs the invariant, so it remains available.
+func (db *Database) Resolve(s Strategy) Strategy {
+	if s != Auto {
+		return s
+	}
+	inv, err := db.Invariant()
+	if err != nil || !translate.CanInvert(inv) {
+		return Direct
+	}
+	return ViaInvariantFixpoint
+}
+
 // Ask evaluates a topological Boolean query with the given strategy.
 func (db *Database) Ask(q pointfo.PointFormula, s Strategy) (bool, error) {
+	if s == Auto {
+		return db.Ask(q, db.Resolve(s))
+	}
 	switch s {
 	case Direct:
 		ev, err := db.evaluator()

@@ -6,6 +6,7 @@ import (
 	"repro/internal/pointfo"
 	"repro/internal/region"
 	"repro/internal/spatial"
+	"repro/internal/workload"
 )
 
 func TestAskStrategiesAgree(t *testing.T) {
@@ -86,5 +87,89 @@ func TestTopologicallyEquivalent(t *testing.T) {
 	}
 	if eq, err := TopologicallyEquivalent(a, c); err != nil || eq {
 		t.Errorf("rectangle and annulus should differ: %v %v", eq, err)
+	}
+}
+
+// TestAutoStrategy: Auto must answer every seed workload query without error
+// — resolving to the invariant-based fixpoint strategy where the invariant
+// is invertible (free-loop components) and falling back to Direct where it
+// is not (junction vertices, curve endpoints) — and always agree with
+// Direct.  ViaInvariantFixpoint itself hard-errors on the non-invertible
+// workloads, which is exactly the failure Auto exists to absorb.
+func TestAutoStrategy(t *testing.T) {
+	landuse, err := workload.LandUse(workload.DefaultLandUse(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hydro, err := workload.Hydrography(workload.DefaultHydrography(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	commune, err := workload.Commune(workload.DefaultCommune(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := workload.NestedRegions(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := workload.MultiComponent(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		inst    *spatial.Instance
+		query   pointfo.PointFormula
+		resolve Strategy // what Auto should pick
+	}{
+		{"landuse", landuse, pointfo.QueryIntersect("class00", "class01"), Direct},
+		{"hydrography", hydro, pointfo.QueryIntersect("rivers", "lakes"), Direct},
+		{"commune", commune, pointfo.QueryIntersect("class00", "class01"), Direct},
+		{"nested", nested, pointfo.PExists{Vars: []string{"u"}, Body: pointfo.InInterior{Region: "P", Var: "u"}}, ViaInvariantFixpoint},
+		{"multicomponent", multi, pointfo.PExists{Vars: []string{"u"}, Body: pointfo.In{Region: "P", Var: "u"}}, ViaInvariantFixpoint},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, err := Open(tc.inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := db.Resolve(Auto); got != tc.resolve {
+				t.Errorf("Resolve(Auto) = %v, want %v", got, tc.resolve)
+			}
+			want, err := db.Ask(tc.query, Direct)
+			if err != nil {
+				t.Fatalf("direct: %v", err)
+			}
+			got, err := db.Ask(tc.query, Auto)
+			if err != nil {
+				t.Fatalf("auto: %v", err)
+			}
+			if got != want {
+				t.Errorf("auto = %v, direct = %v", got, want)
+			}
+			// The fallback cases are exactly those where fixpoint errors.
+			_, ferr := db.Ask(tc.query, ViaInvariantFixpoint)
+			if tc.resolve == Direct && ferr == nil {
+				t.Error("fixpoint unexpectedly succeeded; Auto fallback untested")
+			}
+			if tc.resolve == ViaInvariantFixpoint && ferr != nil {
+				t.Errorf("fixpoint errored on invertible instance: %v", ferr)
+			}
+		})
+	}
+	// Concrete strategies resolve to themselves.
+	db, err := Open(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{Direct, ViaInvariantFO, ViaInvariantFixpoint, ViaLinearized} {
+		if got := db.Resolve(s); got != s {
+			t.Errorf("Resolve(%v) = %v, want identity", s, got)
+		}
+	}
+	if Auto.String() != "auto" {
+		t.Errorf("Auto.String() = %q", Auto.String())
 	}
 }

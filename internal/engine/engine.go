@@ -42,6 +42,7 @@ import (
 	"repro/internal/pointfo"
 	"repro/internal/spatial"
 	"repro/internal/store"
+	"repro/internal/translate"
 )
 
 // DefaultCacheCapacity bounds the invariant cache when no option is given.
@@ -113,6 +114,13 @@ type Engine struct {
 	storeHits   atomic.Uint64
 	storePuts   atomic.Uint64
 	storeErrors atomic.Uint64
+
+	// autoQueries counts queries submitted with core.Auto; autoFallbacks
+	// counts the subset that resolved to Direct because the invariant was
+	// outside the invertible class (or failed to compute).  The resolved
+	// strategies' own counters in strat record the evaluations themselves.
+	autoQueries   atomic.Uint64
+	autoFallbacks atomic.Uint64
 
 	strat [core.ViaLinearized + 1]stratCounters
 }
@@ -406,9 +414,17 @@ type Result struct {
 	Answer bool
 	// Err is the evaluation error, if any.
 	Err error
-	// CacheHit reports whether the invariant came from the cache (always
-	// false for the Direct strategy, which never touches the invariant).
+	// CacheHit reports whether the invariant came from the cache.  Always
+	// false for a Direct request (it never touches the invariant), but an
+	// Auto request that fell back to Direct still consulted the cache to
+	// inspect the invariant, so Strategy == Direct with CacheHit == true is
+	// possible there.
 	CacheHit bool
+	// Strategy is the strategy that actually evaluated the query: the
+	// requested one, or — for core.Auto — the concrete strategy it resolved
+	// to (ViaInvariantFixpoint when the instance's invariant is invertible,
+	// Direct otherwise).
+	Strategy core.Strategy
 	// Latency is the wall-clock evaluation time of this request.
 	Latency time.Duration
 }
@@ -459,22 +475,43 @@ func (e *Engine) Batch(reqs []Request, s core.Strategy) []Result {
 // panics (the query language panics on e.g. unknown region names) are
 // converted to errors: a bad request must not kill the Batch worker pool —
 // or, in the serve front-end, the whole process.
+//
+// core.Auto resolves here, against the engine's invariant cache: the
+// invariant is fetched (cache → store → compute) and inspected once, then
+// the query runs ViaInvariantFixpoint when the invariant is invertible and
+// falls back to Direct otherwise — recorded under the resolved strategy,
+// with the fallback counted in Stats.AutoFallbacks.  An invariant
+// computation failure also falls back to Direct rather than erroring:
+// direct evaluation never needs the invariant.
 func (e *Engine) run(req Request, index int, s core.Strategy) (res Result) {
 	start := time.Now()
-	res = Result{Index: index}
+	res = Result{Index: index, Strategy: s}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("engine: query evaluation panicked: %v", r)
 			res.Latency = time.Since(start)
-			e.record(s, res)
+			e.record(res.Strategy, res)
 		}
 	}()
 
 	var db *core.Database
 	var err error
-	if s == core.Direct {
+	switch {
+	case s == core.Auto:
+		e.autoQueries.Add(1)
+		var inv *invariant.Invariant
+		inv, res.CacheHit, err = e.invariant(req.Instance)
+		if err == nil && translate.CanInvert(inv) {
+			res.Strategy = core.ViaInvariantFixpoint
+			db, err = core.OpenWith(req.Instance, inv)
+		} else {
+			res.Strategy = core.Direct
+			e.autoFallbacks.Add(1)
+			db, err = core.Open(req.Instance)
+		}
+	case s == core.Direct:
 		db, err = core.Open(req.Instance)
-	} else {
+	default:
 		var inv *invariant.Invariant
 		inv, res.CacheHit, err = e.invariant(req.Instance)
 		if err == nil {
@@ -482,11 +519,11 @@ func (e *Engine) run(req Request, index int, s core.Strategy) (res Result) {
 		}
 	}
 	if err == nil {
-		res.Answer, err = db.Ask(req.Query, s)
+		res.Answer, err = db.Ask(req.Query, res.Strategy)
 	}
 	res.Err = err
 	res.Latency = time.Since(start)
-	e.record(s, res)
+	e.record(res.Strategy, res)
 	return res
 }
 
@@ -525,11 +562,17 @@ type Stats struct {
 	Computes uint64 `json:"computes"`
 	// StoreHits / StorePuts / StoreErrors cover the disk store (all zero
 	// when no store is configured).
-	StoreHits   uint64          `json:"store_hits"`
-	StorePuts   uint64          `json:"store_puts"`
-	StoreErrors uint64          `json:"store_errors"`
-	Store       *store.Stats    `json:"store,omitempty"`
-	Strategies  []StrategyStats `json:"strategies"`
+	StoreHits   uint64       `json:"store_hits"`
+	StorePuts   uint64       `json:"store_puts"`
+	StoreErrors uint64       `json:"store_errors"`
+	Store       *store.Stats `json:"store,omitempty"`
+	// AutoQueries counts queries submitted with core.Auto; AutoFallbacks
+	// counts those that fell back to Direct (invariant outside the
+	// invertible class).  Auto evaluations are otherwise recorded under the
+	// concrete strategy they resolved to.
+	AutoQueries   uint64          `json:"auto_queries"`
+	AutoFallbacks uint64          `json:"auto_fallbacks"`
+	Strategies    []StrategyStats `json:"strategies"`
 }
 
 // Stats returns a snapshot of the engine's cache, store and per-strategy
@@ -542,6 +585,8 @@ func (e *Engine) Stats() Stats {
 		StoreHits:     e.storeHits.Load(),
 		StorePuts:     e.storePuts.Load(),
 		StoreErrors:   e.storeErrors.Load(),
+		AutoQueries:   e.autoQueries.Load(),
+		AutoFallbacks: e.autoFallbacks.Load(),
 	}
 	for i := range e.shards {
 		sh := &e.shards[i]

@@ -323,3 +323,77 @@ func TestSmallCapacityIsExact(t *testing.T) {
 		t.Errorf("evictions %d, want 3", st.CacheEvictions)
 	}
 }
+
+// TestAutoStrategyFallbackCounters: Auto queries resolve per instance and
+// the engine records the resolution — the evaluations land on the concrete
+// strategies' counters, and the auto_queries/auto_fallbacks pair shows how
+// often the direct fallback absorbed a non-invertible invariant.
+func TestAutoStrategyFallbackCounters(t *testing.T) {
+	e := New()
+	invertible := nested(t, 2) // free loops + isolated vertex: fixpoint-eligible
+	junctions, err := workload.LandUse(workload.DefaultLandUse(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := e.AskResult(invertible, nonEmpty("P"), core.Auto)
+	if res.Err != nil {
+		t.Fatalf("auto on invertible instance: %v", res.Err)
+	}
+	if res.Strategy != core.ViaInvariantFixpoint {
+		t.Errorf("auto resolved to %v, want via-invariant-fixpoint", res.Strategy)
+	}
+
+	res = e.AskResult(junctions, nonEmpty("class00"), core.Auto)
+	if res.Err != nil {
+		t.Fatalf("auto on junction-vertex instance: %v", res.Err)
+	}
+	if res.Strategy != core.Direct {
+		t.Errorf("auto resolved to %v, want direct fallback", res.Strategy)
+	}
+	// The fallback still consulted the invariant cache, so a repeat is a
+	// cache hit on the invariant inspection.
+	if res = e.AskResult(junctions, nonEmpty("class00"), core.Auto); !res.CacheHit {
+		t.Error("second auto query did not hit the invariant cache")
+	}
+
+	st := e.Stats()
+	if st.AutoQueries != 3 {
+		t.Errorf("auto_queries = %d, want 3", st.AutoQueries)
+	}
+	if st.AutoFallbacks != 2 {
+		t.Errorf("auto_fallbacks = %d, want 2", st.AutoFallbacks)
+	}
+	perStrategy := map[string]uint64{}
+	for _, s := range st.Strategies {
+		perStrategy[s.Strategy] = s.Queries
+	}
+	if perStrategy["via-invariant-fixpoint"] != 1 {
+		t.Errorf("fixpoint queries = %d, want 1 (the resolved auto query)", perStrategy["via-invariant-fixpoint"])
+	}
+	if perStrategy["direct"] != 2 {
+		t.Errorf("direct queries = %d, want 2 (the recorded fallbacks)", perStrategy["direct"])
+	}
+	for _, s := range st.Strategies {
+		if s.Errors != 0 {
+			t.Errorf("strategy %s recorded %d errors, want 0", s.Strategy, s.Errors)
+		}
+	}
+
+	// Batch accepts Auto too, resolving per request.
+	results := e.Batch([]Request{
+		{Instance: invertible, Query: nonEmpty("P")},
+		{Instance: junctions, Query: nonEmpty("class00")},
+	}, core.Auto)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("batch auto request %d: %v", i, r.Err)
+		}
+	}
+	if results[0].Strategy != core.ViaInvariantFixpoint || results[1].Strategy != core.Direct {
+		t.Errorf("batch auto resolutions = %v/%v, want fixpoint/direct", results[0].Strategy, results[1].Strategy)
+	}
+	if st = e.Stats(); st.AutoQueries != 5 || st.AutoFallbacks != 3 {
+		t.Errorf("after batch: auto_queries = %d, auto_fallbacks = %d, want 5/3", st.AutoQueries, st.AutoFallbacks)
+	}
+}

@@ -106,6 +106,63 @@ func (s Segment) Key() string {
 	return c.A.Key() + ";" + c.B.Key()
 }
 
+// IsVertical reports whether the segment is vertical (both endpoints share
+// one x coordinate).  Vertical segments have no y-at-x function and are
+// handled out of band by sweep-line algorithms.
+func (s Segment) IsVertical() bool { return s.A.X.Equal(s.B.X) }
+
+// YAt returns the y coordinate of the segment's supporting line at x.
+// It panics on vertical segments.
+func (s Segment) YAt(x rat.R) rat.R {
+	dx := s.B.X.Sub(s.A.X)
+	if dx.Sign() == 0 {
+		panic("geom: YAt of a vertical segment")
+	}
+	t := x.Sub(s.A.X).Div(dx)
+	return s.A.Y.Add(t.Mul(s.B.Y.Sub(s.A.Y)))
+}
+
+// CmpYAt compares the y coordinates of the supporting lines of s and t at x,
+// returning -1, 0 or +1.  Both segments must be non-vertical.  The comparison
+// cross-multiplies instead of dividing, so no intermediate normalisation is
+// paid per probe.
+func CmpYAt(s, t Segment, x rat.R) int {
+	// y_s(x) = (ay·dx + (x-ax)·dy) / dx with dx > 0 after canonicalisation.
+	s, t = s.Canonical(), t.Canonical()
+	sdx := s.B.X.Sub(s.A.X)
+	tdx := t.B.X.Sub(t.A.X)
+	if sdx.Sign() == 0 || tdx.Sign() == 0 {
+		panic("geom: CmpYAt of a vertical segment")
+	}
+	sn := s.A.Y.Mul(sdx).Add(x.Sub(s.A.X).Mul(s.B.Y.Sub(s.A.Y)))
+	tn := t.A.Y.Mul(tdx).Add(x.Sub(t.A.X).Mul(t.B.Y.Sub(t.A.Y)))
+	return sn.Mul(tdx).Cmp(tn.Mul(sdx))
+}
+
+// CmpPointSeg compares p.Y with the y coordinate of the supporting line of s
+// at p.X, returning -1 when p is below the line, 0 on it and +1 above.  The
+// segment must be non-vertical.
+func CmpPointSeg(p Point, s Segment) int {
+	s = s.Canonical()
+	dx := s.B.X.Sub(s.A.X)
+	if dx.Sign() == 0 {
+		panic("geom: CmpPointSeg of a vertical segment")
+	}
+	n := s.A.Y.Mul(dx).Add(p.X.Sub(s.A.X).Mul(s.B.Y.Sub(s.A.Y)))
+	return p.Y.Mul(dx).Cmp(n)
+}
+
+// CmpSlope compares the slopes of two non-vertical segments.
+func CmpSlope(s, t Segment) int {
+	s, t = s.Canonical(), t.Canonical()
+	sdx := s.B.X.Sub(s.A.X)
+	tdx := t.B.X.Sub(t.A.X)
+	if sdx.Sign() == 0 || tdx.Sign() == 0 {
+		panic("geom: CmpSlope of a vertical segment")
+	}
+	return s.B.Y.Sub(s.A.Y).Mul(tdx).Cmp(t.B.Y.Sub(t.A.Y).Mul(sdx))
+}
+
 // Box returns the bounding box of the segment.
 func (s Segment) Box() Box {
 	return Box{
@@ -383,8 +440,18 @@ func (pg Polygon) CCW() Polygon {
 func (pg Polygon) Box() Box { return BoxAround(pg.Vertices...) }
 
 // IsSimple reports whether the polygon is simple: no two non-adjacent edges
-// intersect, and adjacent edges meet only at their shared vertex.
+// intersect, and adjacent edges meet only at their shared vertex.  A polygon
+// with a zero-length edge (repeated consecutive vertices, which NewPolygon
+// rejects but a literal can carry) is never simple: its boundary is not a
+// Jordan curve, and before this check a fully collapsed ring like [a, a, a]
+// slipped through because every degenerate edge pair "met at the shared
+// vertex".
 func (pg Polygon) IsSimple() bool {
+	for i, v := range pg.Vertices {
+		if v.Equal(pg.Vertices[(i+1)%len(pg.Vertices)]) {
+			return false
+		}
+	}
 	edges := pg.Edges()
 	n := len(edges)
 	for i := 0; i < n; i++ {

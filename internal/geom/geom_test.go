@@ -434,3 +434,67 @@ func BenchmarkPolygonLocate(b *testing.B) {
 		_ = pg.Locate(p)
 	}
 }
+
+func TestSweepComparators(t *testing.T) {
+	x := rat.FromInt(2)
+	flat := Segment{Pt(0, 1), Pt(4, 1)}    // y(2) = 1
+	rising := Segment{Pt(0, 0), Pt(4, 4)}  // y(2) = 2
+	falling := Segment{Pt(0, 4), Pt(4, 0)} // y(2) = 2
+	vertical := Segment{Pt(2, 0), Pt(2, 4)}
+
+	if !vertical.IsVertical() || flat.IsVertical() {
+		t.Error("IsVertical wrong")
+	}
+	if got := rising.YAt(x); !got.Equal(rat.FromInt(2)) {
+		t.Errorf("YAt = %s, want 2", got)
+	}
+	if c := CmpYAt(flat, rising, x); c != -1 {
+		t.Errorf("CmpYAt(flat, rising) = %d, want -1", c)
+	}
+	if c := CmpYAt(rising, falling, x); c != 0 {
+		t.Errorf("CmpYAt at the crossing = %d, want 0", c)
+	}
+	// Reversed-orientation segments compare identically (canonicalised).
+	if c := CmpYAt(rising.Reverse(), falling, x); c != 0 {
+		t.Errorf("CmpYAt with reversed operand = %d, want 0", c)
+	}
+	if c := CmpSlope(falling, rising); c != -1 {
+		t.Errorf("CmpSlope(falling, rising) = %d, want -1", c)
+	}
+	if c := CmpSlope(rising, rising.Reverse()); c != 0 {
+		t.Errorf("CmpSlope of reversed self = %d, want 0", c)
+	}
+	// CmpPointSeg: below / on / above the supporting line.
+	if c := CmpPointSeg(Pt(2, 0), rising); c != -1 {
+		t.Errorf("CmpPointSeg below = %d, want -1", c)
+	}
+	if c := CmpPointSeg(Pt(2, 2), rising); c != 0 {
+		t.Errorf("CmpPointSeg on = %d, want 0", c)
+	}
+	if c := CmpPointSeg(Pt(2, 3), rising); c != 1 {
+		t.Errorf("CmpPointSeg above = %d, want 1", c)
+	}
+	// The supporting line extends beyond the segment.
+	if c := CmpPointSeg(Pt(10, 10), rising); c != 0 {
+		t.Errorf("CmpPointSeg on the extension = %d, want 0", c)
+	}
+	// Rational coordinates: y of rising at x=1/2 is 1/2.
+	if c := CmpPointSeg(PtR(rat.New(1, 2), rat.New(1, 2)), rising); c != 0 {
+		t.Errorf("CmpPointSeg at rational point = %d, want 0", c)
+	}
+	for _, f := range []func(){
+		func() { vertical.YAt(x) },
+		func() { CmpYAt(vertical, flat, x) },
+		func() { CmpPointSeg(Pt(0, 0), vertical) },
+		func() { CmpSlope(vertical, flat) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("vertical-segment comparator did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/rat"
+	"repro/internal/sweep"
 )
 
 // Dimension is the topological dimension of a feature.
@@ -80,18 +81,12 @@ func (f Feature) Validate() error {
 		if len(f.Outer.Vertices) < 3 {
 			return fmt.Errorf("region: area feature with %d outer vertices", len(f.Outer.Vertices))
 		}
-		if !f.Outer.IsSimple() {
-			return fmt.Errorf("region: outer boundary is not a simple polygon")
-		}
-		for i, h := range f.Holes {
-			if !h.IsSimple() {
-				return fmt.Errorf("region: hole %d is not a simple polygon", i)
-			}
-			for _, v := range h.Vertices {
-				if f.Outer.Locate(v) != geom.Inside {
-					return fmt.Errorf("region: hole %d vertex %s not strictly inside the outer boundary", i, v)
-				}
-			}
+		// Ring simplicity and strict hole containment (holes strictly
+		// inside the outer ring, pairwise strictly disjoint — a shared
+		// boundary point is rejected) via the sweep-line checker, which
+		// stays O((n+k) log n) where the old per-pair scan was quadratic.
+		if err := sweep.ValidateArea(f.Outer, f.Holes); err != nil {
+			return fmt.Errorf("region: %w", err)
 		}
 		return nil
 	default:

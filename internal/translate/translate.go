@@ -395,14 +395,18 @@ func rankOrMinus(rank map[string]int, ref invariant.CellRef, idx int) int {
 
 // --- Theorem 2.2 (restricted): inversion -----------------------------------------
 
-// InvertToLinear constructs a semi-linear spatial instance J with top(J)
-// isomorphic to the given invariant.  The supported class is invariants whose
-// skeleton components are single closed curves (free loops) or isolated
-// vertices — the nesting patterns produced by fully-two-dimensional regions
-// with disjoint or nested boundaries (disks, annuli, multi-component regions,
-// nested subdivisions without shared borders).  An error is returned for
-// invariants outside this class.
-func InvertToLinear(inv *invariant.Invariant) (*spatial.Instance, error) {
+// CanInvert reports whether the invariant is in the class InvertToLinear
+// supports: every skeleton component is a single closed curve (free loop) or
+// an isolated vertex.  Strategy selection (core.Auto) uses this to decide
+// between the invariant-based fixpoint evaluation and the direct fallback
+// without provoking — and then string-matching — the inversion error.
+func CanInvert(inv *invariant.Invariant) bool {
+	return unsupportedComponent(inv) == nil
+}
+
+// unsupportedComponent returns the first component outside the invertible
+// class, or nil when the whole invariant is invertible.
+func unsupportedComponent(inv *invariant.Invariant) *invariant.Component {
 	cs := inv.Components()
 	for _, c := range cs.List {
 		if len(c.Edges) == 1 && len(c.Vertices) == 0 && inv.Edges[c.Edges[0]].IsFreeLoop() {
@@ -411,8 +415,24 @@ func InvertToLinear(inv *invariant.Invariant) (*spatial.Instance, error) {
 		if len(c.Edges) == 0 && len(c.Vertices) == 1 {
 			continue
 		}
+		return c
+	}
+	return nil
+}
+
+// InvertToLinear constructs a semi-linear spatial instance J with top(J)
+// isomorphic to the given invariant.  The supported class is invariants whose
+// skeleton components are single closed curves (free loops) or isolated
+// vertices — the nesting patterns produced by fully-two-dimensional regions
+// with disjoint or nested boundaries (disks, annuli, multi-component regions,
+// nested subdivisions without shared borders).  An error is returned for
+// invariants outside this class; CanInvert tests the class membership
+// without the error.
+func InvertToLinear(inv *invariant.Invariant) (*spatial.Instance, error) {
+	if c := unsupportedComponent(inv); c != nil {
 		return nil, fmt.Errorf("translate: inversion not supported for component %d (%d vertices, %d edges); supported components are free loops and isolated vertices", c.ID, len(c.Vertices), len(c.Edges))
 	}
+	cs := inv.Components()
 
 	// Allocate nested boxes: children of the root get disjoint boxes along
 	// the x-axis; children of a component get disjoint boxes inside the face

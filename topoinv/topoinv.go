@@ -74,12 +74,17 @@ type (
 	GeoJSONOption = geojson.Option
 )
 
-// Evaluation strategies (the paper's options (i)–(iv)).
+// Evaluation strategies (the paper's options (i)–(iv)), plus Auto, which
+// resolves per instance: ViaInvariantFixpoint when the invariant is in the
+// class the fixpoint machinery can invert (free loops and isolated
+// vertices), Direct otherwise — so every query is answered instead of
+// erroring on instances with junction vertices or curve endpoints.
 const (
 	Direct               = core.Direct
 	ViaInvariantFO       = core.ViaInvariantFO
 	ViaInvariantFixpoint = core.ViaInvariantFixpoint
 	ViaLinearized        = core.ViaLinearized
+	Auto                 = core.Auto
 )
 
 // Binary-codec payload kinds (see PayloadKind).
