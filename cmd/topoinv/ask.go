@@ -1,0 +1,103 @@
+// The ask subcommand answers one FO(P,<x,<y) sentence against an instance:
+//
+//	topoinv ask -q 'exists u . in(P, u) and interior(Q, u)' -i map.tinv
+//	topoinv ask -q 'forall u . in(P, u) implies not interior(P, u)' \
+//	        -workload nested -scale 2 -strategy auto -store invariants
+//
+// The instance comes from a binary blob (-i, as written by encode/import) or
+// a built-in workload (-workload/-scale); -store points the engine at a
+// disk-persistent invariant store so repeated asks across processes skip the
+// arrangement.  The canonical form, the answer, the strategy that ran and
+// the cache path taken are printed; parse and schema errors show the byte
+// offset with a caret under the offending token.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/topoinv"
+)
+
+func runAsk(args []string) {
+	fs := flag.NewFlagSet("ask", flag.ExitOnError)
+	q := fs.String("q", "", "FO(P,<x,<y) sentence, e.g. 'exists u . in(P, u)'")
+	in := fs.String("i", "", "binary instance file (output of topoinv encode or import)")
+	workloadName := fs.String("workload", "", "built-in workload instead of -i: landuse | hydrography | commune | nested | multicomponent")
+	scale := fs.Int("scale", 1, "workload scale factor")
+	strategy := fs.String("strategy", "auto", "query strategy: direct | fo | fixpoint | linearized | auto")
+	storeDir := fs.String("store", "", "directory of a disk-persistent invariant store (optional)")
+	fs.Parse(args)
+
+	if *q == "" {
+		log.Fatal("ask: -q is required (a sentence like 'exists u . in(P, u)')")
+	}
+	var inst *topoinv.Instance
+	switch {
+	case *in != "" && *workloadName != "":
+		log.Fatal("ask: provide -i or -workload, not both")
+	case *in != "":
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if inst, err = topoinv.Decode(data); err != nil {
+			log.Fatalf("ask: %s is not a valid instance blob: %v", *in, err)
+		}
+	case *workloadName != "":
+		var err error
+		if inst, err = generateWorkload(*workloadName, *scale); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("ask: provide an instance via -i or -workload")
+	}
+
+	parsed, err := topoinv.ParseQuery(*q)
+	if err != nil {
+		fatalQueryError(*q, err)
+	}
+	if err := parsed.CheckSchema(inst.Schema()); err != nil {
+		fatalQueryError(*q, err)
+	}
+	strat, ok := strategies[*strategy]
+	if !ok {
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	var opts []topoinv.EngineOption
+	if *storeDir != "" {
+		opts = append(opts, topoinv.WithStore(*storeDir))
+	}
+	engine := topoinv.NewEngine(opts...)
+	if err := engine.StoreErr(); err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	res := engine.AskResult(inst, parsed.Formula, strat)
+	if res.Err != nil {
+		log.Fatalf("ask: %v", res.Err)
+	}
+	fmt.Printf("canonical: %s\n", res.Canonical)
+	fmt.Printf("answer:    %v\n", res.Answer)
+	fmt.Printf("strategy:  %s\n", res.Strategy)
+	fmt.Printf("latency:   %s\n", res.Latency)
+	st := engine.Stats()
+	fmt.Printf("cache:     invariant hit=%v store_hits=%d computes=%d\n", res.CacheHit, st.StoreHits, st.Computes)
+}
+
+// fatalQueryError prints a structured query error with a caret marking the
+// byte offset in the source, then exits.
+func fatalQueryError(src string, err error) {
+	var qe *topoinv.QueryError
+	if errors.As(err, &qe) && qe.Offset <= len(src) {
+		fmt.Fprintf(os.Stderr, "ask: %s\n  %s\n  %s^\n", qe.Msg, src, strings.Repeat(" ", qe.Offset))
+		os.Exit(1)
+	}
+	log.Fatalf("ask: %v", err)
+}

@@ -12,6 +12,9 @@
 //	topoinv import -i map.geojson -o inst.tinv [-precision 7]
 //	    convert a GeoJSON document (rationally snapped and validated) to a
 //	    binary instance;
+//	topoinv ask -q 'exists u . in(P, u)' [-i inst.tinv | -workload nested]
+//	    parse a sentence of the FO(P,<x,<y) query language, canonicalize it
+//	    and answer it with a chosen strategy;
 //	topoinv serve -addr :8080 [-store dir]
 //	    run the concurrent query engine behind a small HTTP JSON API, with an
 //	    optional disk-persistent invariant store.
@@ -35,7 +38,7 @@ func main() {
 	cmd := "measure"
 	if len(args) > 0 {
 		switch {
-		case args[0] == "measure" || args[0] == "encode" || args[0] == "decode" || args[0] == "serve" || args[0] == "import":
+		case args[0] == "measure" || args[0] == "encode" || args[0] == "decode" || args[0] == "serve" || args[0] == "import" || args[0] == "ask":
 			cmd, args = args[0], args[1:]
 		case args[0] == "-h" || args[0] == "--help" || args[0] == "help":
 			usage()
@@ -55,6 +58,8 @@ func main() {
 		runDecode(args)
 	case "import":
 		runImport(args)
+	case "ask":
+		runAsk(args)
 	case "serve":
 		runServe(args)
 	}
@@ -68,6 +73,7 @@ commands:
   encode    serialize a workload instance or invariant to binary
   decode    read a binary blob and print a summary
   import    convert a GeoJSON document to a binary instance
+  ask       answer one FO(P,<x,<y) sentence against an instance
   serve     run the query engine as an HTTP JSON service
 
 Run "topoinv <command> -h" for per-command flags.

@@ -8,20 +8,40 @@
 //	                            gzip (1MB post-inflate cap); returns the
 //	                            content-addressed instance id
 //	GET  /v1/instances          list loaded instances
+//	DELETE /v1/instances/{id}   unload an instance from the registry (its
+//	                            invariant may stay cached until evicted)
 //	GET  /v1/instances/{id}/invariant
 //	                            compute (or fetch from cache) the invariant;
 //	                            add ?format=binary for the encoded blob
-//	POST /v1/ask                one query: {"id":"…","query":"intersects",
-//	                            "regions":["P","Q"],"strategy":"fixpoint"}
+//	POST /v1/ask                one query, written in the FO(P,<x,<y) query
+//	                            language — {"id":"…","formula":"exists u .
+//	                            in(P, u) and in(Q, u)","strategy":"auto"} —
+//	                            or as a legacy name — {"id":"…","query":
+//	                            "intersects","regions":["P","Q"]}; legacy
+//	                            names are expanded to formula text and
+//	                            parsed, so both spellings share one
+//	                            evaluation path and one answer-cache entry.
+//	                            The response carries the canonical form.
 //	POST /v1/batch              many queries over the worker pool:
-//	                            {"strategy":"fixpoint","requests":[{…},…]}
-//	GET  /v1/stats              engine cache + per-strategy counters
+//	                            {"strategy":"fixpoint","requests":[{…},…]};
+//	                            each request may carry its own "strategy"
+//	                            override and "formula" or legacy name.  With
+//	                            Accept: application/x-ndjson the response
+//	                            streams one JSON line per result as workers
+//	                            finish (each line carries "index"); otherwise
+//	                            a JSON array in request order is returned.
+//	GET  /v1/stats              engine caches (invariant + answer) and
+//	                            per-strategy counters
+//
+// Query-language errors (parse failures, unresolved region names) come back
+// as {"error": …, "offset": N} with the byte offset into the formula.
 package main
 
 import (
 	"compress/gzip"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,11 +60,15 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheCap := fs.Int("cache", 128, "invariant cache capacity (entries)")
+	answerCap := fs.Int("answers", 0, "answer cache capacity (0 = default)")
 	workers := fs.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 	storeDir := fs.String("store", "", "directory for the disk-persistent invariant store (empty = memory only)")
 	fs.Parse(args)
 
 	opts := []topoinv.EngineOption{topoinv.WithCacheCapacity(*cacheCap)}
+	if *answerCap > 0 {
+		opts = append(opts, topoinv.WithAnswerCapacity(*answerCap))
+	}
 	if *workers > 0 {
 		opts = append(opts, topoinv.WithWorkers(*workers))
 	}
@@ -324,56 +348,77 @@ func (s *server) handleInvariant(w http.ResponseWriter, r *http.Request) {
 }
 
 type askRequest struct {
-	ID       string   `json:"id"`
-	Query    string   `json:"query"`
-	Regions  []string `json:"regions"`
+	ID string `json:"id"`
+	// Formula is a sentence of the FO(P,<x,<y) query language, e.g.
+	// "exists u . in(P, u) and interior(Q, u)".
+	Formula string `json:"formula,omitempty"`
+	// Query + Regions is the legacy named form (nonempty | hasinterior |
+	// intersects | contained | boundaryonly); it is expanded to formula
+	// text and parsed, so both forms share one evaluation path.
+	Query    string   `json:"query,omitempty"`
+	Regions  []string `json:"regions,omitempty"`
 	Strategy string   `json:"strategy,omitempty"`
 }
 
 type askResponse struct {
-	Answer   bool   `json:"answer"`
-	CacheHit bool   `json:"cache_hit"`
-	Latency  int64  `json:"latency_ns"`
-	Strategy string `json:"strategy"`
+	Answer    bool   `json:"answer"`
+	Canonical string `json:"canonical"`
+	CacheHit  bool   `json:"cache_hit"`
+	AnswerHit bool   `json:"answer_hit"`
+	Latency   int64  `json:"latency_ns"`
+	Strategy  string `json:"strategy"`
 }
 
-// buildQuery resolves the named query forms the API accepts.
-func buildQuery(name string, regions []string) (topoinv.Query, error) {
-	need := func(n int) error {
-		if len(regions) != n {
-			return fmt.Errorf("query %q needs %d region name(s), got %d", name, n, len(regions))
+// maxQuantifierDepth caps the quantifier depth of served formulas.
+// Evaluation enumerates the representative sample once per quantified
+// variable — O(sample^depth) — so unbounded depth is an easy CPU DoS on an
+// open endpoint.  The legacy aliases all have depth 1; depth 4 already
+// admits far richer sentences than the paper's examples while keeping the
+// worst case bounded.  The CLI (topoinv ask) applies no such cap.
+const maxQuantifierDepth = 4
+
+// buildQuery resolves a request's query: an explicit formula in the textual
+// query language, or a legacy name expanded through topoinv.QueryAlias.  The
+// returned query has been parsed, canonicalized and schema-checked — there
+// is exactly one path from request to evaluated AST.
+func buildQuery(req askRequest, inst *topoinv.Instance) (topoinv.Query, error) {
+	src := req.Formula
+	fromAlias := false
+	switch {
+	case req.Query != "" && req.Formula != "":
+		return nil, fmt.Errorf(`provide "formula" or the legacy "query" name, not both`)
+	case req.Formula != "" && len(req.Regions) > 0:
+		// Silently dropping the regions would let a client migrating from
+		// the legacy form believe they constrain the formula.
+		return nil, fmt.Errorf(`"regions" only applies to the legacy "query" form; name regions inside the formula instead`)
+	case req.Query != "":
+		var err error
+		if src, err = topoinv.QueryAlias(req.Query, req.Regions...); err != nil {
+			return nil, err
 		}
-		return nil
+		fromAlias = true
+	case src == "":
+		return nil, fmt.Errorf(`provide a "formula" or a legacy "query" name`)
 	}
-	switch name {
-	case "nonempty":
-		if err := need(1); err != nil {
-			return nil, err
-		}
-		return topoinv.NonEmpty(regions[0]), nil
-	case "hasinterior":
-		if err := need(1); err != nil {
-			return nil, err
-		}
-		return topoinv.HasInterior(regions[0]), nil
-	case "intersects":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return topoinv.Intersects(regions[0], regions[1]), nil
-	case "contained":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return topoinv.Contained(regions[0], regions[1]), nil
-	case "boundaryonly":
-		if err := need(2); err != nil {
-			return nil, err
-		}
-		return topoinv.BoundaryOnlyIntersection(regions[0], regions[1]), nil
-	default:
-		return nil, fmt.Errorf("unknown query %q (want nonempty | hasinterior | intersects | contained | boundaryonly)", name)
+	q, err := topoinv.ParseQuery(src)
+	if err == nil {
+		err = q.CheckSchema(inst.Schema())
 	}
+	if err != nil {
+		if fromAlias {
+			// The byte offset indexes the server-side alias expansion, which
+			// the client never sent; keep the message, drop the offset.
+			var qe *topoinv.QueryError
+			if errors.As(err, &qe) {
+				return nil, fmt.Errorf("%s", qe.Msg)
+			}
+		}
+		return nil, err
+	}
+	if d := topoinv.QueryDepth(q.Formula); d > maxQuantifierDepth {
+		return nil, fmt.Errorf("quantifier depth %d exceeds the served limit of %d", d, maxQuantifierDepth)
+	}
+	return q.Formula, nil
 }
 
 func parseStrategy(name string) (topoinv.Strategy, error) {
@@ -399,9 +444,9 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "unknown instance id")
 		return
 	}
-	q, err := buildQuery(req.Query, req.Regions)
+	q, err := buildQuery(req, inst)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		queryError(w, err)
 		return
 	}
 	strat, err := parseStrategy(req.Strategy)
@@ -415,13 +460,26 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, askResponse{
-		Answer:   res.Answer,
-		CacheHit: res.CacheHit,
-		Latency:  res.Latency.Nanoseconds(),
+		Answer:    res.Answer,
+		Canonical: res.Canonical,
+		CacheHit:  res.CacheHit,
+		AnswerHit: res.AnswerHit,
+		Latency:   res.Latency.Nanoseconds(),
 		// The strategy that actually ran: for "auto" this is the resolved
 		// one (fixpoint or the direct fallback).
 		Strategy: res.Strategy.String(),
 	})
+}
+
+// queryError writes a query-construction failure.  Structured query-language
+// errors carry the byte offset of the offending token into the response.
+func queryError(w http.ResponseWriter, err error) {
+	var qe *topoinv.QueryError
+	if errors.As(err, &qe) {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": qe.Error(), "offset": qe.Offset})
+		return
+	}
+	httpError(w, http.StatusBadRequest, "%v", err)
 }
 
 type batchRequest struct {
@@ -430,13 +488,46 @@ type batchRequest struct {
 }
 
 type batchItemResponse struct {
-	Answer   bool   `json:"answer"`
-	Error    string `json:"error,omitempty"`
-	CacheHit bool   `json:"cache_hit"`
-	Latency  int64  `json:"latency_ns"`
-	Strategy string `json:"strategy"`
+	Index     int    `json:"index"`
+	Answer    bool   `json:"answer"`
+	Canonical string `json:"canonical,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Offset carries the byte offset of a structured query-language error
+	// into the request's formula text (absent for other errors, and for
+	// legacy named queries, whose expansion the client never sent).
+	Offset    *int   `json:"offset,omitempty"`
+	CacheHit  bool   `json:"cache_hit"`
+	AnswerHit bool   `json:"answer_hit"`
+	Latency   int64  `json:"latency_ns"`
+	Strategy  string `json:"strategy,omitempty"`
 }
 
+func batchItem(index int, res topoinv.BatchResult) batchItemResponse {
+	out := batchItemResponse{
+		Index:     index,
+		Answer:    res.Answer,
+		Canonical: res.Canonical,
+		CacheHit:  res.CacheHit,
+		AnswerHit: res.AnswerHit,
+		Latency:   res.Latency.Nanoseconds(),
+		Strategy:  res.Strategy.String(),
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	return out
+}
+
+// handleBatch evaluates many queries on the worker pool.  Per-request
+// failures that are detectable before evaluation (a malformed formula, an
+// unknown legacy name, a bad per-request strategy) become per-item errors —
+// the rest of the batch still runs — while an unknown instance id fails the
+// whole batch with 404 before any work starts (it is almost always a caller
+// bug, and the NDJSON mode cannot change the status once streaming).
+//
+// With Accept: application/x-ndjson the response is NDJSON: one JSON object
+// per line, written as each worker finishes, identified by "index".  The
+// plain mode returns a JSON array in request order.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req batchRequest
@@ -444,37 +535,89 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	strat, err := parseStrategy(req.Strategy)
+	defStrat, err := parseStrategy(req.Strategy)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	reqs := make([]topoinv.BatchRequest, len(req.Requests))
+	out := make([]batchItemResponse, len(req.Requests))
+	var engReqs []topoinv.BatchRequest
+	var origIdx []int
 	for i, a := range req.Requests {
 		inst, ok := s.get(a.ID)
 		if !ok {
 			httpError(w, http.StatusNotFound, "request %d: unknown instance id", i)
 			return
 		}
-		q, err := buildQuery(a.Query, a.Regions)
+		out[i] = batchItemResponse{Index: i}
+		q, err := buildQuery(a, inst)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "request %d: %v", i, err)
-			return
+			out[i].Error = err.Error()
+			// Formula errors are structured: surface the offset like
+			// /v1/ask does (buildQuery already strips alias offsets).
+			var qe *topoinv.QueryError
+			if errors.As(err, &qe) {
+				off := qe.Offset
+				out[i].Offset = &off
+			}
+			continue
 		}
-		reqs[i] = topoinv.BatchRequest{Instance: inst, Query: q}
+		engReq := topoinv.BatchRequest{Instance: inst, Query: q}
+		if a.Strategy != "" {
+			strat, err := parseStrategy(a.Strategy)
+			if err != nil {
+				out[i].Error = err.Error()
+				continue
+			}
+			engReq.Strategy, engReq.StrategySet = strat, true
+		}
+		engReqs = append(engReqs, engReq)
+		origIdx = append(origIdx, i)
 	}
-	results := s.engine.Batch(reqs, strat)
-	out := make([]batchItemResponse, len(results))
-	for i, res := range results {
-		out[i] = batchItemResponse{
-			Answer:   res.Answer,
-			CacheHit: res.CacheHit,
-			Latency:  res.Latency.Nanoseconds(),
-			Strategy: res.Strategy.String(),
+
+	if strings.Contains(r.Header.Get("Accept"), "application/x-ndjson") {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		// gone flips on client disconnect (or the first write failure):
+		// from then on results are discarded silently instead of logging
+		// one encode error per remaining item.  BatchStream must still be
+		// drained — abandoning the channel would leak its workers — so the
+		// already-submitted evaluations run to completion either way.
+		gone := false
+		emit := func(item batchItemResponse) {
+			if gone {
+				return
+			}
+			if r.Context().Err() != nil {
+				gone = true
+				return
+			}
+			if err := enc.Encode(item); err != nil {
+				log.Printf("serve: ndjson client gone after item %d: %v", item.Index, err)
+				gone = true
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
-		if res.Err != nil {
-			out[i].Error = res.Err.Error()
+		// Items rejected before evaluation are already final: emit them
+		// first, then stream evaluation results in completion order.
+		for i := range out {
+			if out[i].Error != "" {
+				emit(out[i])
+			}
 		}
+		for res := range s.engine.BatchStream(engReqs, defStrat) {
+			emit(batchItem(origIdx[res.Index], res))
+		}
+		return
+	}
+
+	for _, res := range s.engine.Batch(engReqs, defStrat) {
+		out[origIdx[res.Index]] = batchItem(origIdx[res.Index], res)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

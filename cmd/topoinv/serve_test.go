@@ -182,21 +182,29 @@ func TestServeUnload(t *testing.T) {
 }
 
 // TestServeBadRegionName checks that a query against a region the instance
-// does not have comes back as an HTTP error, not a crashed worker.
+// does not have is rejected by the schema check before any evaluation —
+// a structured 400 with the source offset — and that a batch keeps running
+// around the bad item.
 func TestServeBadRegionName(t *testing.T) {
 	ts := testServer(t)
 	var loaded loadResponse
 	postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "nested", Scale: 1}, &loaded)
-	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Query: "nonempty", Regions: []string{"Z"}}, nil); resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Errorf("unknown region ask: status %d, want 422", resp.StatusCode)
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Query: "nonempty", Regions: []string{"Z"}}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown region ask: status %d, want 400", resp.StatusCode)
 	}
 	var batch []batchItemResponse
-	breq := batchRequest{Requests: []askRequest{{ID: loaded.ID, Query: "nonempty", Regions: []string{"Z"}}}}
+	breq := batchRequest{Requests: []askRequest{
+		{ID: loaded.ID, Query: "nonempty", Regions: []string{"Z"}},
+		{ID: loaded.ID, Query: "nonempty", Regions: []string{"P"}},
+	}}
 	if resp := postJSON(t, ts.URL+"/v1/batch", breq, &batch); resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch: status %d", resp.StatusCode)
 	}
-	if len(batch) != 1 || batch[0].Error == "" {
-		t.Errorf("batch with unknown region: %+v, want per-item error", batch)
+	if len(batch) != 2 || batch[0].Error == "" {
+		t.Fatalf("batch with unknown region: %+v, want per-item error", batch)
+	}
+	if batch[1].Error != "" || !batch[1].Answer {
+		t.Errorf("valid item alongside a rejected one: %+v", batch[1])
 	}
 }
 
@@ -283,5 +291,214 @@ func TestServeAutoStrategy(t *testing.T) {
 	}
 	if stats.AutoFallbacks != 2 {
 		t.Errorf("auto_fallbacks = %d, want 2", stats.AutoFallbacks)
+	}
+}
+
+// TestServeFormula: an arbitrary user-written sentence is answerable over
+// /v1/ask, the response carries the canonical form, a repeated identical ask
+// is served from the answer cache, and the hit shows up in /v1/stats.
+func TestServeFormula(t *testing.T) {
+	ts := testServer(t)
+	var loaded loadResponse
+	if resp := postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "nested", Scale: 2}, &loaded); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: status %d", resp.StatusCode)
+	}
+
+	// Written with eccentric whitespace: the canonical form normalizes it.
+	const formula = "forall  u .  in( P , u )  implies not interior( P ,  u )"
+	const canonical = "forall u . in(P, u) implies not interior(P, u)"
+	var ans askResponse
+	if resp := postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Formula: formula, Strategy: "auto"}, &ans); resp.StatusCode != http.StatusOK {
+		t.Fatalf("formula ask: status %d", resp.StatusCode)
+	}
+	if ans.Canonical != canonical {
+		t.Errorf("canonical = %q, want %q", ans.Canonical, canonical)
+	}
+	if ans.AnswerHit {
+		t.Error("first ask reported an answer hit")
+	}
+
+	// The same sentence again — and its canonical spelling — both hit the
+	// answer cache.
+	var again askResponse
+	postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Formula: formula, Strategy: "auto"}, &again)
+	if !again.AnswerHit || again.Answer != ans.Answer {
+		t.Errorf("repeat ask: %+v, want answer_hit with the same answer", again)
+	}
+	postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Formula: canonical, Strategy: "auto"}, &again)
+	if !again.AnswerHit {
+		t.Error("canonical spelling missed the cache entry of its variant")
+	}
+
+	var st topoinv.EngineStats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.AnswerHits < 2 {
+		t.Errorf("stats answer_hits = %d, want >= 2", st.AnswerHits)
+	}
+
+	// The legacy name and its formula expansion share one answer entry.
+	var legacy askResponse
+	postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Query: "nonempty", Regions: []string{"P"}, Strategy: "auto"}, &legacy)
+	var spelled askResponse
+	postJSON(t, ts.URL+"/v1/ask", askRequest{ID: loaded.ID, Formula: "exists u . in(P, u)", Strategy: "auto"}, &spelled)
+	if !spelled.AnswerHit {
+		t.Error("spelled-out nonempty missed the legacy alias's answer entry")
+	}
+	if spelled.Canonical != legacy.Canonical {
+		t.Errorf("canonical forms differ: %q vs %q", spelled.Canonical, legacy.Canonical)
+	}
+}
+
+// TestServeFormulaErrors: structured parse/schema errors surface as 400 with
+// the byte offset; both query forms at once, absent queries, and formulas
+// beyond the quantifier-depth cap are rejected.
+func TestServeFormulaErrors(t *testing.T) {
+	ts := testServer(t)
+	var loaded loadResponse
+	postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "nested", Scale: 1}, &loaded)
+
+	post := func(body askRequest) (int, map[string]any) {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/ask", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	if code, out := post(askRequest{ID: loaded.ID, Formula: "exists u . in(P, u) and"}); code != http.StatusBadRequest {
+		t.Errorf("parse error: status %d (%v), want 400", code, out)
+	} else if off, ok := out["offset"].(float64); !ok || int(off) != 23 {
+		t.Errorf("parse error offset = %v, want 23", out["offset"])
+	}
+	if code, out := post(askRequest{ID: loaded.ID, Formula: "exists u . in(Zed, u)"}); code != http.StatusBadRequest {
+		t.Errorf("schema error: status %d, want 400", code)
+	} else if off, ok := out["offset"].(float64); !ok || int(off) != 14 {
+		t.Errorf("schema error offset = %v, want 14", out["offset"])
+	}
+	if code, _ := post(askRequest{ID: loaded.ID, Formula: "exists u . in(P, u)", Query: "nonempty", Regions: []string{"P"}}); code != http.StatusBadRequest {
+		t.Errorf("both forms: status %d, want 400", code)
+	}
+	if code, _ := post(askRequest{ID: loaded.ID, Formula: "exists u . in(P, u)", Regions: []string{"P"}}); code != http.StatusBadRequest {
+		t.Errorf("regions alongside formula: status %d, want 400 (they are silently meaningless)", code)
+	}
+	if code, _ := post(askRequest{ID: loaded.ID}); code != http.StatusBadRequest {
+		t.Errorf("no query: status %d, want 400", code)
+	}
+	// Legacy named queries expand server-side: their errors must not leak a
+	// byte offset into text the client never sent.
+	if code, out := post(askRequest{ID: loaded.ID, Query: "nonempty", Regions: []string{"Zed"}}); code != http.StatusBadRequest {
+		t.Errorf("legacy unknown region: status %d, want 400", code)
+	} else if _, hasOffset := out["offset"]; hasOffset {
+		t.Errorf("legacy alias error carries an offset into server-side text: %v", out)
+	}
+	deep := askRequest{ID: loaded.ID,
+		Formula: "exists a . exists b . exists c . exists d . exists e . in(P, a) and in(P, b) and in(P, c) and in(P, d) and in(P, e)"}
+	if code, out := post(deep); code != http.StatusBadRequest {
+		t.Errorf("depth cap: status %d (%v), want 400", code, out)
+	}
+}
+
+// TestServeBatchPerRequestStrategy: the request-level strategy overrides the
+// top-level default, and the response reports what actually ran.
+func TestServeBatchPerRequestStrategy(t *testing.T) {
+	ts := testServer(t)
+	var loaded loadResponse
+	postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "nested", Scale: 1}, &loaded)
+
+	var batch []batchItemResponse
+	breq := batchRequest{Strategy: "fixpoint", Requests: []askRequest{
+		{ID: loaded.ID, Query: "nonempty", Regions: []string{"P"}},
+		{ID: loaded.ID, Query: "nonempty", Regions: []string{"P"}, Strategy: "direct"},
+		{ID: loaded.ID, Query: "nonempty", Regions: []string{"P"}, Strategy: "nope"},
+	}}
+	if resp := postJSON(t, ts.URL+"/v1/batch", breq, &batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d", resp.StatusCode)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch: %d results", len(batch))
+	}
+	if batch[0].Strategy != "via-invariant-fixpoint" {
+		t.Errorf("item 0 ran %q, want the top-level default fixpoint", batch[0].Strategy)
+	}
+	if batch[1].Strategy != "direct" {
+		t.Errorf("item 1 ran %q, want the per-request direct override", batch[1].Strategy)
+	}
+	if batch[2].Error == "" {
+		t.Error("item 2: bad per-request strategy did not error")
+	}
+	for i, r := range batch {
+		if r.Index != i {
+			t.Errorf("item %d carries index %d", i, r.Index)
+		}
+	}
+}
+
+// TestServeBatchNDJSON: with Accept: application/x-ndjson the batch response
+// streams one JSON line per result, covering every request exactly once —
+// including items rejected before evaluation.
+func TestServeBatchNDJSON(t *testing.T) {
+	ts := testServer(t)
+	var loaded loadResponse
+	postJSON(t, ts.URL+"/v1/instances", loadRequest{Workload: "nested", Scale: 1}, &loaded)
+
+	breq := batchRequest{Strategy: "auto", Requests: []askRequest{
+		{ID: loaded.ID, Formula: "exists u . in(P, u)"},
+		{ID: loaded.ID, Formula: "not a formula ("},
+		{ID: loaded.ID, Query: "hasinterior", Regions: []string{"P"}},
+		{ID: loaded.ID, Formula: "forall u . in(P, u) implies in(P, u)"},
+	}}
+	data, err := json.Marshal(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/batch", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ndjson batch: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	seen := map[int]batchItemResponse{}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var item batchItemResponse
+		if err := dec.Decode(&item); err != nil {
+			break
+		}
+		if _, dup := seen[item.Index]; dup {
+			t.Fatalf("index %d delivered twice", item.Index)
+		}
+		seen[item.Index] = item
+	}
+	if len(seen) != len(breq.Requests) {
+		t.Fatalf("received %d lines, want %d (%v)", len(seen), len(breq.Requests), seen)
+	}
+	if seen[1].Error == "" {
+		t.Error("malformed formula did not produce an error line")
+	}
+	if seen[1].Offset == nil || *seen[1].Offset != 4 {
+		t.Errorf("malformed formula line lacks the structured offset of the unbound variable: %+v", seen[1])
+	}
+	for _, i := range []int{0, 2, 3} {
+		if seen[i].Error != "" || !seen[i].Answer {
+			t.Errorf("item %d: %+v, want a true answer", i, seen[i])
+		}
 	}
 }

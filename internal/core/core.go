@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/invariant"
 	"repro/internal/pointfo"
+	"repro/internal/queryl"
 	"repro/internal/spatial"
 	"repro/internal/translate"
 )
@@ -183,6 +184,21 @@ func (db *Database) Ask(q pointfo.PointFormula, s Strategy) (bool, error) {
 	default:
 		return false, fmt.Errorf("core: unknown strategy %v", s)
 	}
+}
+
+// AskText parses src in the concrete query syntax of package queryl, resolves
+// its region names against the database's schema, and evaluates it with the
+// given strategy.  Parse and resolution failures are *queryl.Error values
+// carrying the byte offset of the offending token.
+func (db *Database) AskText(src string, s Strategy) (bool, error) {
+	q, err := queryl.Parse(src)
+	if err != nil {
+		return false, err
+	}
+	if err := q.CheckSchema(db.inst.Schema()); err != nil {
+		return false, err
+	}
+	return db.Ask(q.Formula, s)
 }
 
 // TopologicallyEquivalent reports whether two instances are topologically

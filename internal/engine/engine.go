@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/invariant"
 	"repro/internal/pointfo"
+	"repro/internal/queryl"
 	"repro/internal/spatial"
 	"repro/internal/store"
 	"repro/internal/translate"
@@ -88,15 +89,37 @@ func WithStore(dir string) Option {
 	return func(e *Engine) { e.storeDir = dir }
 }
 
+// WithAnswerCapacity bounds the number of cached query answers.  Like
+// WithCacheCapacity, capacities up to 16 are exact and larger ones round up
+// to a multiple of 16 (Stats reports the effective figure).  Values < 1 are
+// treated as 1.
+func WithAnswerCapacity(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.answerCapacity = n
+	}
+}
+
 // Engine is a concurrent topological query engine.  All methods are safe for
 // concurrent use.
 type Engine struct {
-	capacity   int
-	workers    int
-	storeDir   string
-	usedShards int // min(cacheShards, capacity): small caches stay exact
+	capacity       int
+	workers        int
+	storeDir       string
+	answerCapacity int
+	usedShards     int // min(cacheShards, capacity): small caches stay exact
 
 	shards [cacheShards]cacheShard
+
+	// answers caches Boolean query results keyed by (instance content
+	// address, canonical query text, resolved strategy) — see answerKey.
+	// It sits in front of invariant computation: a repeated ask is served
+	// without touching the invariant cache, the disk store or the evaluator.
+	answers      answerCache
+	answerHits   atomic.Uint64
+	answerMisses atomic.Uint64
 
 	store    *store.Store
 	storeErr error
@@ -162,13 +185,15 @@ type stratCounters struct {
 // New creates an engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{
-		capacity: DefaultCacheCapacity,
-		workers:  runtime.GOMAXPROCS(0),
-		keyMemo:  make(map[*spatial.Instance]string),
+		capacity:       DefaultCacheCapacity,
+		workers:        runtime.GOMAXPROCS(0),
+		answerCapacity: DefaultAnswerCapacity,
+		keyMemo:        make(map[*spatial.Instance]string),
 	}
 	for _, o := range opts {
 		o(e)
 	}
+	e.answerCapacity = e.answers.init(e.answerCapacity)
 	// A capacity below the shard count would be inflated by per-shard
 	// minimums (capacity 1 becoming 16 resident invariants); routing keys
 	// over only `capacity` shards keeps small caches exactly bounded.
@@ -404,6 +429,21 @@ func (sh *cacheShard) insert(key string, inv *invariant.Invariant) {
 type Request struct {
 	Instance *spatial.Instance
 	Query    pointfo.PointFormula
+	// Strategy, together with StrategySet, overrides the batch-level default
+	// strategy for this request.  The zero value (StrategySet == false)
+	// inherits the default passed to Batch/BatchStream.
+	Strategy core.Strategy
+	// StrategySet marks Strategy as an explicit per-request override (the
+	// zero Strategy is core.Direct, so presence needs its own flag).
+	StrategySet bool
+}
+
+// effective resolves the request's strategy against the batch default.
+func (r Request) effective(def core.Strategy) core.Strategy {
+	if r.StrategySet {
+		return r.Strategy
+	}
+	return def
 }
 
 // Result is the outcome of one Request.
@@ -414,12 +454,20 @@ type Result struct {
 	Answer bool
 	// Err is the evaluation error, if any.
 	Err error
-	// CacheHit reports whether the invariant came from the cache.  Always
-	// false for a Direct request (it never touches the invariant), but an
-	// Auto request that fell back to Direct still consulted the cache to
-	// inspect the invariant, so Strategy == Direct with CacheHit == true is
-	// possible there.
+	// CacheHit reports whether the invariant came from the memory cache.
+	// Always false for a Direct request (it never touches the invariant),
+	// but an Auto request that fell back to Direct still consulted the
+	// cache to inspect the invariant, so Strategy == Direct with
+	// CacheHit == true is possible there.  An AnswerHit skips the invariant
+	// entirely for the concrete strategies, leaving CacheHit false.
 	CacheHit bool
+	// AnswerHit reports that the Boolean answer was served from the answer
+	// cache — no invariant fetch (for concrete strategies) and no evaluator
+	// run happened.
+	AnswerHit bool
+	// Canonical is the canonical concrete-syntax text of the query (package
+	// queryl), the identity the answer cache keys on.
+	Canonical string
 	// Strategy is the strategy that actually evaluated the query: the
 	// requested one, or — for core.Auto — the concrete strategy it resolved
 	// to (ViaInvariantFixpoint when the instance's invariant is invertible,
@@ -441,12 +489,27 @@ func (e *Engine) AskResult(inst *spatial.Instance, q pointfo.PointFormula, s cor
 	return e.run(Request{Instance: inst, Query: q}, 0, s)
 }
 
-// Batch evaluates many requests concurrently with the given strategy on the
-// engine's worker pool and returns one Result per request, in input order.
+// Batch evaluates many requests concurrently on the engine's worker pool and
+// returns one Result per request, in input order.  s is the default strategy;
+// requests with StrategySet override it individually.
 func (e *Engine) Batch(reqs []Request, s core.Strategy) []Result {
 	results := make([]Result, len(reqs))
+	for res := range e.BatchStream(reqs, s) {
+		results[res.Index] = res
+	}
+	return results
+}
+
+// BatchStream evaluates requests like Batch but delivers each Result on the
+// returned channel as soon as its worker finishes, in completion order
+// (Result.Index identifies the request).  The channel is closed after the
+// last result; an abandoned receiver leaks the workers, so callers must
+// drain it.
+func (e *Engine) BatchStream(reqs []Request, s core.Strategy) <-chan Result {
+	out := make(chan Result)
 	if len(reqs) == 0 {
-		return results
+		close(out)
+		return out
 	}
 	workers := e.workers
 	if workers > len(reqs) {
@@ -459,16 +522,19 @@ func (e *Engine) Batch(reqs []Request, s core.Strategy) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = e.run(reqs[i], i, s)
+				out <- e.run(reqs[i], i, reqs[i].effective(s))
 			}
 		}()
 	}
-	for i := range reqs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return results
+	go func() {
+		for i := range reqs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(out)
+	}()
+	return out
 }
 
 // run evaluates one request and records per-strategy metrics.  Evaluation
@@ -483,6 +549,12 @@ func (e *Engine) Batch(reqs []Request, s core.Strategy) []Result {
 // with the fallback counted in Stats.AutoFallbacks.  An invariant
 // computation failure also falls back to Direct rather than erroring:
 // direct evaluation never needs the invariant.
+//
+// The answer cache sits between resolution and evaluation: once the
+// strategy is concrete, the (instance, canonical query, strategy) triple
+// addresses a previously computed Boolean and a hit returns without opening
+// a database — for the non-Auto strategies this means without touching the
+// invariant cache or disk store at all.  Errors are never cached.
 func (e *Engine) run(req Request, index int, s core.Strategy) (res Result) {
 	start := time.Now()
 	res = Result{Index: index, Strategy: s}
@@ -494,32 +566,61 @@ func (e *Engine) run(req Request, index int, s core.Strategy) (res Result) {
 		}
 	}()
 
-	var db *core.Database
+	instKey, keyErr := e.key(req.Instance)
+	if req.Query != nil {
+		res.Canonical = queryl.Format(req.Query)
+	}
+
+	// Resolve Auto first: the resolved strategy is part of the answer key.
+	// Resolution inspects the invariant through the regular cache path, so
+	// a repeat resolution is a cheap memory-cache hit.
+	var inv *invariant.Invariant
 	var err error
-	switch {
-	case s == core.Auto:
+	if s == core.Auto {
 		e.autoQueries.Add(1)
-		var inv *invariant.Invariant
 		inv, res.CacheHit, err = e.invariant(req.Instance)
 		if err == nil && translate.CanInvert(inv) {
 			res.Strategy = core.ViaInvariantFixpoint
-			db, err = core.OpenWith(req.Instance, inv)
 		} else {
+			// Direct evaluation needs no invariant, so a computation failure
+			// falls back rather than erroring.
 			res.Strategy = core.Direct
 			e.autoFallbacks.Add(1)
-			db, err = core.Open(req.Instance)
+			inv, err = nil, nil
 		}
-	case s == core.Direct:
-		db, err = core.Open(req.Instance)
-	default:
-		var inv *invariant.Invariant
-		inv, res.CacheHit, err = e.invariant(req.Instance)
-		if err == nil {
-			db, err = core.OpenWith(req.Instance, inv)
+	}
+
+	akey := ""
+	if res.Canonical != "" && keyErr == nil {
+		akey = answerKey(instKey, res.Canonical, res.Strategy)
+		if ans, ok := e.answers.get(akey); ok {
+			e.answerHits.Add(1)
+			res.Answer, res.AnswerHit = ans, true
+			res.Latency = time.Since(start)
+			e.record(res.Strategy, res)
+			return res
+		}
+		e.answerMisses.Add(1)
+	}
+
+	var db *core.Database
+	if err == nil {
+		if res.Strategy == core.Direct {
+			db, err = core.Open(req.Instance)
+		} else {
+			if inv == nil {
+				inv, res.CacheHit, err = e.invariant(req.Instance)
+			}
+			if err == nil {
+				db, err = core.OpenWith(req.Instance, inv)
+			}
 		}
 	}
 	if err == nil {
 		res.Answer, err = db.Ask(req.Query, res.Strategy)
+		if err == nil && akey != "" {
+			e.answers.put(akey, res.Answer)
+		}
 	}
 	res.Err = err
 	res.Latency = time.Since(start)
@@ -557,6 +658,13 @@ type Stats struct {
 	CacheSize      int    `json:"cache_size"`
 	CacheCapacity  int    `json:"cache_capacity"`
 	CacheShards    int    `json:"cache_shards"`
+	// AnswerHits / AnswerMisses count lookups in the answer cache — the
+	// Boolean-result cache keyed by (instance, canonical query, resolved
+	// strategy) that sits in front of invariant computation.
+	AnswerHits     uint64 `json:"answer_hits"`
+	AnswerMisses   uint64 `json:"answer_misses"`
+	AnswerSize     int    `json:"answer_size"`
+	AnswerCapacity int    `json:"answer_capacity"`
 	// Computes counts actual invariant.Compute runs: misses that neither
 	// the memory cache, the in-flight table nor the disk store absorbed.
 	Computes uint64 `json:"computes"`
@@ -579,14 +687,18 @@ type Stats struct {
 // counters.  Strategies that served no queries are omitted.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		CacheCapacity: e.capacity,
-		CacheShards:   e.usedShards,
-		Computes:      e.computes.Load(),
-		StoreHits:     e.storeHits.Load(),
-		StorePuts:     e.storePuts.Load(),
-		StoreErrors:   e.storeErrors.Load(),
-		AutoQueries:   e.autoQueries.Load(),
-		AutoFallbacks: e.autoFallbacks.Load(),
+		CacheCapacity:  e.capacity,
+		CacheShards:    e.usedShards,
+		AnswerHits:     e.answerHits.Load(),
+		AnswerMisses:   e.answerMisses.Load(),
+		AnswerSize:     e.answers.size(),
+		AnswerCapacity: e.answerCapacity,
+		Computes:       e.computes.Load(),
+		StoreHits:      e.storeHits.Load(),
+		StorePuts:      e.storePuts.Load(),
+		StoreErrors:    e.storeErrors.Load(),
+		AutoQueries:    e.autoQueries.Load(),
+		AutoFallbacks:  e.autoFallbacks.Load(),
 	}
 	for i := range e.shards {
 		sh := &e.shards[i]

@@ -213,11 +213,17 @@ func TestBatchOrderAndConcurrency(t *testing.T) {
 	if st.CacheSize != len(instances) {
 		t.Errorf("cache size %d, want %d", st.CacheSize, len(instances))
 	}
-	if st.CacheHits+st.CacheMisses != uint64(len(reqs)) {
-		t.Errorf("hits+misses = %d, want %d", st.CacheHits+st.CacheMisses, len(reqs))
+	// Every request consulted the answer cache; only the answer misses went
+	// on to the invariant cache (one lookup each).
+	if st.AnswerHits+st.AnswerMisses != uint64(len(reqs)) {
+		t.Errorf("answer hits+misses = %d, want %d", st.AnswerHits+st.AnswerMisses, len(reqs))
 	}
-	if st.CacheMisses == uint64(len(reqs)) {
-		t.Error("no request was served from the cache")
+	if st.AnswerMisses == uint64(len(reqs)) {
+		t.Error("no request was served from the answer cache")
+	}
+	if st.CacheHits+st.CacheMisses != st.AnswerMisses {
+		t.Errorf("invariant lookups = %d, want one per answer miss (%d)",
+			st.CacheHits+st.CacheMisses, st.AnswerMisses)
 	}
 }
 
@@ -395,5 +401,165 @@ func TestAutoStrategyFallbackCounters(t *testing.T) {
 	}
 	if st = e.Stats(); st.AutoQueries != 5 || st.AutoFallbacks != 3 {
 		t.Errorf("after batch: auto_queries = %d, auto_fallbacks = %d, want 5/3", st.AutoQueries, st.AutoFallbacks)
+	}
+}
+
+// TestAnswerCache: a repeated identical ask is served from the answer cache
+// without touching the invariant cache; syntactic variants of the same
+// canonical query share one entry; different strategies and different
+// queries do not.
+func TestAnswerCache(t *testing.T) {
+	e := New()
+	inst := nested(t, 3)
+
+	first := e.AskResult(inst, nonEmpty("P"), core.ViaInvariantFixpoint)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.AnswerHit {
+		t.Error("first ask reported an answer hit")
+	}
+	if first.Canonical != "exists u . in(P, u)" {
+		t.Errorf("canonical = %q", first.Canonical)
+	}
+
+	st := e.Stats()
+	invLookups := st.CacheHits + st.CacheMisses
+
+	second := e.AskResult(inst, nonEmpty("P"), core.ViaInvariantFixpoint)
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if !second.AnswerHit || second.Answer != first.Answer {
+		t.Errorf("second ask: %+v, want an answer hit with the same answer", second)
+	}
+	if second.CacheHit {
+		t.Error("answer hit still consulted the invariant cache")
+	}
+	st = e.Stats()
+	if st.CacheHits+st.CacheMisses != invLookups {
+		t.Error("answer hit performed an invariant lookup")
+	}
+	if st.AnswerHits != 1 || st.AnswerMisses != 1 {
+		t.Errorf("answer hits/misses = %d/%d, want 1/1", st.AnswerHits, st.AnswerMisses)
+	}
+	if st.AnswerSize != 1 {
+		t.Errorf("answer size = %d, want 1", st.AnswerSize)
+	}
+
+	// A structurally equal formula built independently shares the entry.
+	variant := pointfo.PExists{Vars: []string{"u"}, Body: pointfo.In{Region: "P", Var: "u"}}
+	if res := e.AskResult(inst, variant, core.ViaInvariantFixpoint); !res.AnswerHit {
+		t.Error("structurally equal query missed the answer cache")
+	}
+	// A different strategy is a different key.
+	if res := e.AskResult(inst, nonEmpty("P"), core.Direct); res.AnswerHit {
+		t.Error("different strategy hit the other strategy's answer")
+	}
+	// A different query is a different key.
+	hasInterior := pointfo.PExists{Vars: []string{"u"}, Body: pointfo.InInterior{Region: "P", Var: "u"}}
+	if res := e.AskResult(inst, hasInterior, core.ViaInvariantFixpoint); res.AnswerHit {
+		t.Error("different query hit the answer cache")
+	}
+}
+
+// TestAnswerCacheAuto: Auto asks resolve to a concrete strategy and share
+// answer entries with direct asks of that strategy; errors are never cached.
+func TestAnswerCacheAuto(t *testing.T) {
+	e := New()
+	inst := nested(t, 2)
+
+	// Warm via an explicit fixpoint ask…
+	if res := e.AskResult(inst, nonEmpty("P"), core.ViaInvariantFixpoint); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// …then an Auto ask resolves to fixpoint and hits the same entry.
+	res := e.AskResult(inst, nonEmpty("P"), core.Auto)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Strategy != core.ViaInvariantFixpoint || !res.AnswerHit {
+		t.Errorf("auto ask: strategy %v answerHit %v, want fixpoint hit", res.Strategy, res.AnswerHit)
+	}
+
+	// Errors are not cached: the same failing ask fails twice, with no entry.
+	before := e.Stats().AnswerSize
+	for i := 0; i < 2; i++ {
+		if _, err := e.Ask(inst, nonEmpty("NoSuchRegion"), core.Direct); err == nil {
+			t.Fatal("unknown region: want an error")
+		}
+	}
+	if after := e.Stats().AnswerSize; after != before {
+		t.Errorf("error result was cached: size %d → %d", before, after)
+	}
+}
+
+// TestAnswerCacheEviction: the LRU bound holds for the answer cache.
+func TestAnswerCacheEviction(t *testing.T) {
+	e := New(WithAnswerCapacity(1))
+	if st := e.Stats(); st.AnswerCapacity != 1 {
+		t.Fatalf("answer capacity = %d, want 1", st.AnswerCapacity)
+	}
+	inst := nested(t, 2)
+	hasInterior := pointfo.PExists{Vars: []string{"u"}, Body: pointfo.InInterior{Region: "P", Var: "u"}}
+	if _, err := e.Ask(inst, nonEmpty("P"), core.Direct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ask(inst, hasInterior, core.Direct); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.AnswerSize != 1 {
+		t.Errorf("answer size = %d with capacity 1", st.AnswerSize)
+	}
+	// The first entry was evicted: asking it again is a miss, and the second
+	// (now evicted in turn) would miss as well.
+	if res := e.AskResult(inst, nonEmpty("P"), core.Direct); res.AnswerHit {
+		t.Error("evicted entry still hit")
+	}
+}
+
+// TestBatchPerRequestStrategy: StrategySet overrides the batch default.
+func TestBatchPerRequestStrategy(t *testing.T) {
+	e := New()
+	inst := nested(t, 2)
+	results := e.Batch([]Request{
+		{Instance: inst, Query: nonEmpty("P")},
+		{Instance: inst, Query: nonEmpty("P"), Strategy: core.Direct, StrategySet: true},
+		{Instance: inst, Query: nonEmpty("P"), Strategy: core.ViaLinearized, StrategySet: true},
+	}, core.ViaInvariantFixpoint)
+	want := []core.Strategy{core.ViaInvariantFixpoint, core.Direct, core.ViaLinearized}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("request %d: %v", i, r.Err)
+		}
+		if r.Strategy != want[i] {
+			t.Errorf("request %d ran %v, want %v", i, r.Strategy, want[i])
+		}
+	}
+}
+
+// TestBatchStreamDeliversAll: the streaming API yields every result exactly
+// once, as identified by Index.
+func TestBatchStreamDeliversAll(t *testing.T) {
+	e := New(WithWorkers(4))
+	inst := nested(t, 2)
+	var reqs []Request
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, Request{Instance: inst, Query: nonEmpty("P")})
+	}
+	seen := make([]bool, len(reqs))
+	n := 0
+	for res := range e.BatchStream(reqs, core.ViaInvariantFixpoint) {
+		if res.Index < 0 || res.Index >= len(reqs) || seen[res.Index] {
+			t.Fatalf("bad or duplicate index %d", res.Index)
+		}
+		seen[res.Index] = true
+		n++
+		if res.Err != nil {
+			t.Errorf("request %d: %v", res.Index, res.Err)
+		}
+	}
+	if n != len(reqs) {
+		t.Errorf("received %d results, want %d", n, len(reqs))
 	}
 }

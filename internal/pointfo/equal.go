@@ -1,0 +1,47 @@
+package pointfo
+
+import "slices"
+
+// Equal reports structural equality of two point-language formulas.  Unlike
+// reflect.DeepEqual it treats nil and empty operand slices as the same
+// conjunction/disjunction, so formulas assembled by hand compare equal to
+// parser output regardless of how their slices were allocated.
+func Equal(a, b PointFormula) bool {
+	switch x := a.(type) {
+	case In:
+		y, ok := b.(In)
+		return ok && x == y
+	case InInterior:
+		y, ok := b.(InInterior)
+		return ok && x == y
+	case LessX:
+		y, ok := b.(LessX)
+		return ok && x == y
+	case LessY:
+		y, ok := b.(LessY)
+		return ok && x == y
+	case SamePoint:
+		y, ok := b.(SamePoint)
+		return ok && x == y
+	case PNot:
+		y, ok := b.(PNot)
+		return ok && Equal(x.F, y.F)
+	case PAnd:
+		y, ok := b.(PAnd)
+		return ok && slices.EqualFunc(x.Fs, y.Fs, Equal)
+	case POr:
+		y, ok := b.(POr)
+		return ok && slices.EqualFunc(x.Fs, y.Fs, Equal)
+	case PImplies:
+		y, ok := b.(PImplies)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case PExists:
+		y, ok := b.(PExists)
+		return ok && slices.Equal(x.Vars, y.Vars) && Equal(x.Body, y.Body)
+	case PForall:
+		y, ok := b.(PForall)
+		return ok && slices.Equal(x.Vars, y.Vars) && Equal(x.Body, y.Body)
+	default:
+		return false
+	}
+}

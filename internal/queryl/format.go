@@ -1,0 +1,233 @@
+package queryl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/pointfo"
+)
+
+// Precedence levels of the grammar, loosest to tightest.  A node is
+// parenthesized whenever its own level is looser than the level its context
+// demands, so Format output reparses to the identical AST.
+const (
+	precFormula = iota // quantifiers
+	precImplies
+	precOr
+	precAnd
+	precUnary
+	precAtom
+)
+
+// Format returns the canonical concrete-syntax text of a formula.  The
+// canonical form is the query's identity: Parse(Format(f)) rebuilds a formula
+// equal to f (up to the collapse of degenerate nodes — a one-element
+// conjunction prints as its element), Format(Parse(s).Formula) is a fixed
+// point, and the engine's answer cache keys on this string.  Format is total
+// on pointfo ASTs: names that are not plain identifiers are printed as
+// quoted strings, and empty conjunction/disjunction print as true/false.
+func Format(f pointfo.PointFormula) string {
+	var b strings.Builder
+	writeFormula(&b, f, precFormula)
+	return b.String()
+}
+
+func writeFormula(b *strings.Builder, f pointfo.PointFormula, ctx int) {
+	switch g := f.(type) {
+	case pointfo.In:
+		writeAtomCall(b, "in", g.Region, g.Var)
+	case pointfo.InInterior:
+		writeAtomCall(b, "interior", g.Region, g.Var)
+	case pointfo.LessX:
+		writeCmp(b, g.L, "<x", g.R)
+	case pointfo.LessY:
+		writeCmp(b, g.L, "<y", g.R)
+	case pointfo.SamePoint:
+		writeCmp(b, g.L, "=", g.R)
+	case pointfo.PNot:
+		parens := ctx > precUnary
+		if parens {
+			b.WriteByte('(')
+		}
+		b.WriteString("not ")
+		writeFormula(b, g.F, precUnary)
+		if parens {
+			b.WriteByte(')')
+		}
+	case pointfo.PAnd:
+		switch len(g.Fs) {
+		case 0:
+			b.WriteString("true")
+		case 1:
+			writeFormula(b, g.Fs[0], ctx)
+		default:
+			writeChain(b, g.Fs, " and ", precAnd, precUnary, ctx)
+		}
+	case pointfo.POr:
+		switch len(g.Fs) {
+		case 0:
+			b.WriteString("false")
+		case 1:
+			writeFormula(b, g.Fs[0], ctx)
+		default:
+			writeChain(b, g.Fs, " or ", precOr, precAnd, ctx)
+		}
+	case pointfo.PImplies:
+		parens := ctx > precImplies
+		if parens {
+			b.WriteByte('(')
+		}
+		writeFormula(b, g.L, precOr)
+		b.WriteString(" implies ")
+		// The right operand of "implies" is a full formula in the grammar
+		// (right-associative), so it never needs parentheses.
+		writeFormula(b, g.R, precFormula)
+		if parens {
+			b.WriteByte(')')
+		}
+	case pointfo.PExists:
+		writeQuant(b, "exists", g.Vars, g.Body, ctx)
+	case pointfo.PForall:
+		writeQuant(b, "forall", g.Vars, g.Body, ctx)
+	default:
+		// Unknown extensions of the interface cannot be given concrete
+		// syntax; fall back to the node's own String so the output stays
+		// deterministic (it will not reparse).
+		fmt.Fprintf(b, "<%s>", f)
+	}
+}
+
+// writeChain prints a flattened connective chain.  Operands print at the
+// grammar level below the chain's own (an "and" chain takes unary operands),
+// so nested same-connective nodes — which the parser only produces under
+// explicit parentheses — are parenthesized and round-trip structurally.
+func writeChain(b *strings.Builder, fs []pointfo.PointFormula, sep string, level, operand, ctx int) {
+	parens := ctx > level
+	if parens {
+		b.WriteByte('(')
+	}
+	for i, f := range fs {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		writeFormula(b, f, operand)
+	}
+	if parens {
+		b.WriteByte(')')
+	}
+}
+
+func writeQuant(b *strings.Builder, kw string, vars []string, body pointfo.PointFormula, ctx int) {
+	parens := ctx > precFormula
+	if parens {
+		b.WriteByte('(')
+	}
+	b.WriteString(kw)
+	b.WriteByte(' ')
+	for i, v := range vars {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(quoteName(v))
+	}
+	b.WriteString(" . ")
+	writeFormula(b, body, precFormula)
+	if parens {
+		b.WriteByte(')')
+	}
+}
+
+func writeAtomCall(b *strings.Builder, kw, region, v string) {
+	b.WriteString(kw)
+	b.WriteByte('(')
+	b.WriteString(quoteName(region))
+	b.WriteString(", ")
+	b.WriteString(quoteName(v))
+	b.WriteByte(')')
+}
+
+func writeCmp(b *strings.Builder, l, op, r string) {
+	b.WriteString(quoteName(l))
+	b.WriteByte(' ')
+	b.WriteString(op)
+	b.WriteByte(' ')
+	b.WriteString(quoteName(r))
+}
+
+// quoteName prints a name bare when it is a plain identifier (and not a
+// keyword), quoted otherwise.  Quoting keeps Format injective and — for
+// region names, which may come from arbitrary GeoJSON properties — parseable.
+func quoteName(name string) string {
+	if isPlainIdent(name) {
+		return name
+	}
+	return strconv.Quote(name)
+}
+
+func isPlainIdent(name string) bool {
+	if name == "" {
+		return false
+	}
+	if _, kw := keywords[name]; kw {
+		return false
+	}
+	if !isIdentStart(name[0]) {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		if !isIdentChar(name[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- legacy aliases ----------------------------------------------------------
+
+// AliasNames lists the five legacy query names of the original enum API, in
+// their historical order.
+var AliasNames = []string{"nonempty", "hasinterior", "intersects", "contained", "boundaryonly"}
+
+// AliasArity returns how many region arguments a legacy alias takes, or -1
+// for an unknown name.
+func AliasArity(name string) int {
+	switch name {
+	case "nonempty", "hasinterior":
+		return 1
+	case "intersects", "contained", "boundaryonly":
+		return 2
+	default:
+		return -1
+	}
+}
+
+// Alias expands one of the five legacy query names into concrete-syntax
+// text over the given region names.  The expansions are exactly the formulas
+// the old enum API built (pointfo.QueryIntersect and friends), so serving a
+// legacy name and serving its expansion share one evaluation path — and one
+// answer-cache key.
+func Alias(name string, regions ...string) (string, error) {
+	arity := AliasArity(name)
+	if arity < 0 {
+		return "", fmt.Errorf("unknown query %q (want %s)", name, strings.Join(AliasNames, " | "))
+	}
+	if len(regions) != arity {
+		return "", fmt.Errorf("query %q needs %d region name(s), got %d", name, arity, len(regions))
+	}
+	q := func(i int) string { return quoteName(regions[i]) }
+	switch name {
+	case "nonempty":
+		return fmt.Sprintf("exists u . in(%s, u)", q(0)), nil
+	case "hasinterior":
+		return fmt.Sprintf("exists u . interior(%s, u)", q(0)), nil
+	case "intersects":
+		return fmt.Sprintf("exists u . in(%s, u) and in(%s, u)", q(0), q(1)), nil
+	case "contained":
+		return fmt.Sprintf("forall u . in(%s, u) implies in(%s, u)", q(0), q(1)), nil
+	default: // boundaryonly
+		return fmt.Sprintf(
+			"forall u . in(%s, u) and in(%s, u) implies (in(%s, u) and not interior(%s, u)) and (in(%s, u) and not interior(%s, u))",
+			q(0), q(1), q(0), q(0), q(1), q(1)), nil
+	}
+}

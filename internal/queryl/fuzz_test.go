@@ -1,0 +1,162 @@
+package queryl
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pointfo"
+)
+
+// FuzzParseQuery feeds the fuzzed string to the parser twice over:
+//
+//  1. as raw source — Parse must never panic, and whenever it accepts the
+//     input, the canonical form must reparse to an equal AST with the
+//     canonical text as a fixed point;
+//  2. as a generator seed — a random parser-shaped formula is built from the
+//     bytes and must survive Parse(Format(q)) == q exactly.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"exists u . in(P, u)",
+		"exists u . in(P, u) and interior(Q, u)",
+		"forall u . in(P, u) implies not interior(Q, u)",
+		"exists u, v . (in(P, u) or in(Q, v)) and not u = v",
+		"forall u . forall v . u <x v implies v <y u",
+		`exists u . in("land use", u)`,
+		"forall u . in(P, u) and in(Q, u) implies (in(P, u) and not interior(P, u)) and (in(Q, u) and not interior(Q, u))",
+		"exists u . true or false",
+		"exists u . in(P, u))",
+		"exists u . u <x",
+		"((((((((",
+		"not not not",
+		`in("\q", u)`,
+		"exists exists . .",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src) // must not panic
+		if err == nil {
+			back, rerr := Parse(q.Canonical)
+			if rerr != nil {
+				t.Fatalf("canonical %q of accepted input %q does not reparse: %v", q.Canonical, src, rerr)
+			}
+			if !pointfo.Equal(back.Formula, q.Formula) {
+				t.Fatalf("canonical %q reparses to a different AST", q.Canonical)
+			}
+			if back.Canonical != q.Canonical {
+				t.Fatalf("canonical is not a fixed point: %q → %q", q.Canonical, back.Canonical)
+			}
+		}
+
+		gen := newGen(src)
+		formula := gen.formula(3, nil)
+		text := Format(formula)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("generated formula does not parse:\n%#v\ntext %q: %v", formula, text, err)
+		}
+		if !pointfo.Equal(back.Formula, formula) {
+			t.Fatalf("generated round trip changed the AST:\ntext %q\n%#v\nvs\n%#v", text, formula, back.Formula)
+		}
+	})
+}
+
+// gen builds random formulas shaped exactly like parser output: quantifiers
+// introduce fresh variables, every variable is bound and used, chains have
+// ≥ 2 operands, and single-element PAnd/POr never occur.  The sentence
+// discipline is kept by construction so the round-trip property is exact.
+type gen struct {
+	rng *rand.Rand
+}
+
+func newGen(seed string) *gen {
+	h := int64(1469598103934665603)
+	for i := 0; i < len(seed); i++ {
+		h ^= int64(seed[i])
+		h *= 1099511628211
+	}
+	return &gen{rng: rand.New(rand.NewSource(h))}
+}
+
+var genRegions = []string{"P", "Q", "landuse", "a b", `q"uote`, "∂region", "true"}
+
+func (g *gen) region() string { return genRegions[g.rng.Intn(len(genRegions))] }
+
+// formula generates a formula; scope lists the variables in scope.  With an
+// empty scope only quantifiers (or true/false) are possible, since atoms
+// need bound variables.
+func (g *gen) formula(depth int, scope []string) pointfo.PointFormula {
+	if len(scope) == 0 {
+		if depth <= 0 || g.rng.Intn(8) == 0 {
+			if g.rng.Intn(2) == 0 {
+				return pointfo.PAnd{}
+			}
+			return pointfo.POr{}
+		}
+		return g.quantifier(depth, scope)
+	}
+	if depth <= 0 {
+		return g.atom(scope)
+	}
+	switch g.rng.Intn(7) {
+	case 0:
+		return g.quantifier(depth, scope)
+	case 1:
+		return pointfo.PNot{F: g.formula(depth-1, scope)}
+	case 2:
+		return pointfo.PAnd{Fs: g.operands(depth, scope)}
+	case 3:
+		return pointfo.POr{Fs: g.operands(depth, scope)}
+	case 4:
+		return pointfo.PImplies{L: g.formula(depth-1, scope), R: g.formula(depth-1, scope)}
+	default:
+		return g.atom(scope)
+	}
+}
+
+func (g *gen) operands(depth int, scope []string) []pointfo.PointFormula {
+	n := 2 + g.rng.Intn(2)
+	fs := make([]pointfo.PointFormula, n)
+	for i := range fs {
+		fs[i] = g.formula(depth-1, scope)
+	}
+	return fs
+}
+
+// quantifier introduces 1–2 fresh variables and guarantees each is used by
+// conjoining a membership atom per variable onto the generated body.
+func (g *gen) quantifier(depth int, scope []string) pointfo.PointFormula {
+	n := 1 + g.rng.Intn(2)
+	vars := make([]string, n)
+	use := make([]pointfo.PointFormula, n)
+	inner := scope
+	for i := range vars {
+		vars[i] = "v" + string(rune('a'+len(inner)))
+		use[i] = pointfo.In{Region: g.region(), Var: vars[i]}
+		inner = append(inner, vars[i])
+	}
+	body := g.formula(depth-1, inner)
+	use = append(use, body)
+	q := pointfo.PAnd{Fs: use}
+	if g.rng.Intn(2) == 0 {
+		return pointfo.PExists{Vars: vars, Body: q}
+	}
+	return pointfo.PForall{Vars: vars, Body: q}
+}
+
+func (g *gen) atom(scope []string) pointfo.PointFormula {
+	v := func() string { return scope[g.rng.Intn(len(scope))] }
+	switch g.rng.Intn(5) {
+	case 0:
+		return pointfo.In{Region: g.region(), Var: v()}
+	case 1:
+		return pointfo.InInterior{Region: g.region(), Var: v()}
+	case 2:
+		return pointfo.LessX{L: v(), R: v()}
+	case 3:
+		return pointfo.LessY{L: v(), R: v()}
+	default:
+		return pointfo.SamePoint{L: v(), R: v()}
+	}
+}

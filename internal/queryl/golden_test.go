@@ -1,0 +1,75 @@
+package queryl
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden file:
+//
+//	go test ./internal/queryl -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the query-language golden files")
+
+// TestGoldenAliasCanonicalForms pins the canonical text of the five legacy
+// aliases.  The canonical form is the query's identity — the engine's answer
+// cache keys on (instance, canonical text, strategy) — so silent drift here
+// would orphan every cached answer and change the HTTP API's observable
+// "canonical" field.  Regenerate with -update only for deliberate
+// query-language changes.
+func TestGoldenAliasCanonicalForms(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "alias_canonical.json")
+	got := make(map[string]string, len(AliasNames))
+	for _, name := range AliasNames {
+		regions := []string{"P", "Q"}[:AliasArity(name)]
+		src, err := Alias(name, regions...)
+		if err != nil {
+			t.Fatalf("Alias(%s): %v", name, err)
+		}
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Alias(%s) text %q does not parse: %v", name, src, err)
+		}
+		got[name] = q.Canonical
+	}
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (run with -update to generate): %v", err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file pins %d aliases, current language has %d", len(want), len(got))
+	}
+	for name, canon := range got {
+		if canon != want[name] {
+			t.Errorf("alias %s canonical drifted:\n  now    %q\n  golden %q\nrun with -update if intentional", name, canon, want[name])
+		}
+	}
+	// The pinned texts must stay parseable and canonical under the current
+	// parser — the same backward-compatibility contract as the codec goldens.
+	for name, canon := range want {
+		q, err := Parse(canon)
+		if err != nil {
+			t.Errorf("golden canonical for %s no longer parses: %v", name, err)
+			continue
+		}
+		if q.Canonical != canon {
+			t.Errorf("golden canonical for %s is no longer a fixed point: %q → %q", name, canon, q.Canonical)
+		}
+	}
+}

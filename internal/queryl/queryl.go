@@ -1,0 +1,546 @@
+// Package queryl is the textual query language for FO(P, <x, <y): a lexer
+// and recursive-descent parser for a small concrete syntax over the point
+// language of package pointfo, a semantic checker, and a canonical
+// pretty-printer whose output is the query's identity (the engine's answer
+// cache and the HTTP/CLI front ends all key on the canonical text).
+//
+// Concrete syntax (loosest to tightest binding):
+//
+//	formula  := ("exists" | "forall") var ("," var)* "." formula
+//	          | implies
+//	implies  := or [ "implies" formula ]          (right-associative)
+//	or       := and ( "or" and )*
+//	and      := unary ( "and" unary )*
+//	unary    := "not" unary | atom
+//	atom     := "(" formula ")"
+//	          | "in" "(" region "," var ")"
+//	          | "interior" "(" region "," var ")"
+//	          | var "<x" var | var "<y" var | var "=" var
+//	          | "true" | "false"
+//
+// Variables are identifiers ([A-Za-z_][A-Za-z0-9_]*, keywords excluded);
+// region names are identifiers or double-quoted strings (so names imported
+// from GeoJSON properties — spaces, punctuation — remain expressible).
+// Examples:
+//
+//	exists u . in(P, u) and interior(Q, u)
+//	forall u . in(P, u) implies not interior(Q, u)
+//	exists u, v . in(P, u) and in(P, v) and u <x v
+//
+// Parse enforces the sentence discipline of the paper's query language:
+// the formula must be closed (every variable bound by an enclosing
+// quantifier), quantifiers must not shadow a variable already in scope, and
+// every quantified variable must be used.  Violations are reported as
+// *Error values carrying the byte offset of the offending token.  Region
+// names are resolved later, against a concrete instance's schema, via
+// (*Query).CheckSchema — parsing is schema-independent so a query can be
+// canonicalized once and asked of many instances.
+package queryl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/pointfo"
+	"repro/internal/spatial"
+)
+
+// MaxNestingDepth bounds parser recursion (parentheses, quantifier prefixes,
+// "not" chains), so adversarial input fails with a structured error instead
+// of exhausting the goroutine stack.
+const MaxNestingDepth = 200
+
+// Error is a structured query-language error: a message plus the byte offset
+// of the offending token in the source text.
+type Error struct {
+	Offset int
+	Msg    string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("offset %d: %s", e.Offset, e.Msg) }
+
+func errAt(off int, format string, args ...any) *Error {
+	return &Error{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// regionUse records one region-name occurrence for later schema resolution.
+type regionUse struct {
+	name string
+	off  int
+}
+
+// Query is a parsed, semantically checked sentence: the pointfo AST, the
+// canonical text that identifies it, and the region names it mentions.
+type Query struct {
+	// Formula is the abstract syntax tree in the point language.
+	Formula pointfo.PointFormula
+	// Canonical is the canonical pretty-printed form.  Two queries with the
+	// same canonical text are the same query: Parse(Canonical) rebuilds an
+	// equal Formula, and the engine's answer cache keys on this string.
+	Canonical string
+
+	regions []regionUse
+}
+
+// Regions returns the distinct region names the query mentions, in order of
+// first occurrence in the source text.
+func (q *Query) Regions() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range q.regions {
+		if !seen[r.name] {
+			seen[r.name] = true
+			out = append(out, r.name)
+		}
+	}
+	return out
+}
+
+// CheckSchema resolves the query's region names against a schema and returns
+// a *Error (with the source offset of the first unresolved name) if any
+// region is missing.
+func (q *Query) CheckSchema(schema *spatial.Schema) error {
+	for _, r := range q.regions {
+		if !schema.Has(r.name) {
+			return errAt(r.off, "unknown region %q (schema has %s)", r.name, strings.Join(schema.Names(), ", "))
+		}
+	}
+	return nil
+}
+
+// Parse parses and checks one sentence of the concrete syntax.  Errors are
+// *Error values with byte offsets into src.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f, err := p.formula(0)
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tEOF {
+		return nil, errAt(t.off, "unexpected %s after end of formula", t.describe())
+	}
+	// The quantifier discipline is enforced during the parse (scope stack in
+	// the parser); what remains is nothing — the checks all run inline.
+	return &Query{Formula: f, Canonical: Format(f), regions: p.regions}, nil
+}
+
+// MustParse is Parse panicking on error, for tests and package-level query
+// constants.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// --- lexer -------------------------------------------------------------------
+
+type tokenKind int
+
+const (
+	tEOF tokenKind = iota
+	tIdent
+	tString // double-quoted region name (text holds the unquoted value)
+	tLParen
+	tRParen
+	tComma
+	tDot
+	tEq
+	tLessX
+	tLessY
+	tExists
+	tForall
+	tAnd
+	tOr
+	tNot
+	tImplies
+	tIn
+	tInterior
+	tTrue
+	tFalse
+)
+
+var keywords = map[string]tokenKind{
+	"exists":   tExists,
+	"forall":   tForall,
+	"and":      tAnd,
+	"or":       tOr,
+	"not":      tNot,
+	"implies":  tImplies,
+	"in":       tIn,
+	"interior": tInterior,
+	"true":     tTrue,
+	"false":    tFalse,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	off  int
+}
+
+func (t token) describe() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tString:
+		return fmt.Sprintf("string %q", t.text)
+	case tLessX:
+		return `"<x"`
+	case tLessY:
+		return `"<y"`
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isIdentChar(b byte) bool {
+	return isIdentStart(b) || (b >= '0' && b <= '9')
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		b := src[i]
+		switch {
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			i++
+		case b == '(':
+			toks = append(toks, token{tLParen, "(", i})
+			i++
+		case b == ')':
+			toks = append(toks, token{tRParen, ")", i})
+			i++
+		case b == ',':
+			toks = append(toks, token{tComma, ",", i})
+			i++
+		case b == '.':
+			toks = append(toks, token{tDot, ".", i})
+			i++
+		case b == '=':
+			toks = append(toks, token{tEq, "=", i})
+			i++
+		case b == '<':
+			if i+1 >= len(src) || (src[i+1] != 'x' && src[i+1] != 'y') {
+				return nil, errAt(i, `expected "<x" or "<y"`)
+			}
+			if i+2 < len(src) && isIdentChar(src[i+2]) {
+				return nil, errAt(i, `expected "<x" or "<y" followed by a separator`)
+			}
+			if src[i+1] == 'x' {
+				toks = append(toks, token{tLessX, "<x", i})
+			} else {
+				toks = append(toks, token{tLessY, "<y", i})
+			}
+			i += 2
+		case b == '"':
+			text, end, err := lexString(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{tString, text, i})
+			i = end
+		case isIdentStart(b):
+			start := i
+			for i < len(src) && isIdentChar(src[i]) {
+				i++
+			}
+			word := src[start:i]
+			if k, ok := keywords[word]; ok {
+				toks = append(toks, token{k, word, start})
+			} else {
+				toks = append(toks, token{tIdent, word, start})
+			}
+		default:
+			return nil, errAt(i, "unexpected character %q", rune(b))
+		}
+	}
+	return append(toks, token{tEOF, "", len(src)}), nil
+}
+
+// lexString scans a double-quoted region name starting at src[start] == '"'.
+// Escapes follow Go string-literal syntax (strconv.Unquote), so canonical
+// output produced by quoteName round-trips.
+func lexString(src string, start int) (text string, end int, err error) {
+	i := start + 1
+	for i < len(src) {
+		switch src[i] {
+		case '\\':
+			i += 2
+		case '"':
+			text, uerr := strconv.Unquote(src[start : i+1])
+			if uerr != nil {
+				return "", 0, errAt(start, "bad string literal: %v", uerr)
+			}
+			return text, i + 1, nil
+		default:
+			i++
+		}
+	}
+	return "", 0, errAt(start, "unterminated string literal")
+}
+
+// --- parser ------------------------------------------------------------------
+
+type parser struct {
+	toks    []token
+	pos     int
+	regions []regionUse
+
+	// scope is the stack of quantified variables currently in scope, used
+	// for the shadowing / unbound / unused checks during the parse.
+	scope []*scopeVar
+}
+
+type scopeVar struct {
+	name string
+	off  int // offset of the declaration, for the "unused" error
+	used bool
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return token{}, errAt(t.off, "expected %s, found %s", what, t.describe())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) lookup(name string) *scopeVar {
+	for i := len(p.scope) - 1; i >= 0; i-- {
+		if p.scope[i].name == name {
+			return p.scope[i]
+		}
+	}
+	return nil
+}
+
+// formula parses the loosest level: a quantifier prefix or an implication.
+func (p *parser) formula(depth int) (pointfo.PointFormula, error) {
+	if depth > MaxNestingDepth {
+		return nil, errAt(p.peek().off, "formula nested deeper than %d levels", MaxNestingDepth)
+	}
+	t := p.peek()
+	if t.kind == tExists || t.kind == tForall {
+		p.next()
+		var vars []string
+		base := len(p.scope)
+		for {
+			vt, err := p.expect(tIdent, "a variable name")
+			if err != nil {
+				return nil, err
+			}
+			if p.lookup(vt.text) != nil {
+				return nil, errAt(vt.off, "variable %q shadows an enclosing quantifier", vt.text)
+			}
+			vars = append(vars, vt.text)
+			p.scope = append(p.scope, &scopeVar{name: vt.text, off: vt.off})
+			if p.peek().kind != tComma {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(tDot, `"." after the quantified variables`); err != nil {
+			return nil, err
+		}
+		body, err := p.formula(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range p.scope[base:] {
+			if !v.used {
+				return nil, errAt(v.off, "quantified variable %q is never used", v.name)
+			}
+		}
+		p.scope = p.scope[:base]
+		if t.kind == tExists {
+			return pointfo.PExists{Vars: vars, Body: body}, nil
+		}
+		return pointfo.PForall{Vars: vars, Body: body}, nil
+	}
+	return p.implies(depth)
+}
+
+func (p *parser) implies(depth int) (pointfo.PointFormula, error) {
+	l, err := p.or(depth)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tImplies {
+		return l, nil
+	}
+	p.next()
+	// The right operand is a full formula: "implies" is right-associative
+	// and admits a bare quantifier ("a implies exists u . …").
+	r, err := p.formula(depth + 1)
+	if err != nil {
+		return nil, err
+	}
+	return pointfo.PImplies{L: l, R: r}, nil
+}
+
+func (p *parser) or(depth int) (pointfo.PointFormula, error) {
+	first, err := p.and(depth)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tOr {
+		return first, nil
+	}
+	fs := []pointfo.PointFormula{first}
+	for p.peek().kind == tOr {
+		p.next()
+		f, err := p.and(depth)
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	return pointfo.POr{Fs: fs}, nil
+}
+
+func (p *parser) and(depth int) (pointfo.PointFormula, error) {
+	first, err := p.unary(depth)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tAnd {
+		return first, nil
+	}
+	fs := []pointfo.PointFormula{first}
+	for p.peek().kind == tAnd {
+		p.next()
+		f, err := p.unary(depth)
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	return pointfo.PAnd{Fs: fs}, nil
+}
+
+func (p *parser) unary(depth int) (pointfo.PointFormula, error) {
+	if depth > MaxNestingDepth {
+		return nil, errAt(p.peek().off, "formula nested deeper than %d levels", MaxNestingDepth)
+	}
+	if p.peek().kind == tNot {
+		p.next()
+		f, err := p.unary(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		return pointfo.PNot{F: f}, nil
+	}
+	return p.atom(depth)
+}
+
+func (p *parser) atom(depth int) (pointfo.PointFormula, error) {
+	t := p.peek()
+	switch t.kind {
+	case tLParen:
+		p.next()
+		f, err := p.formula(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, `")"`); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case tTrue:
+		p.next()
+		return pointfo.PAnd{}, nil
+	case tFalse:
+		p.next()
+		return pointfo.POr{}, nil
+	case tIn, tInterior:
+		p.next()
+		if _, err := p.expect(tLParen, `"(" after `+strconv.Quote(t.text)); err != nil {
+			return nil, err
+		}
+		rt := p.peek()
+		if rt.kind != tIdent && rt.kind != tString {
+			return nil, errAt(rt.off, "expected a region name, found %s", rt.describe())
+		}
+		p.next()
+		p.regions = append(p.regions, regionUse{name: rt.text, off: rt.off})
+		if _, err := p.expect(tComma, `"," between region and variable`); err != nil {
+			return nil, err
+		}
+		v, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRParen, `")"`); err != nil {
+			return nil, err
+		}
+		if t.kind == tIn {
+			return pointfo.In{Region: rt.text, Var: v}, nil
+		}
+		return pointfo.InInterior{Region: rt.text, Var: v}, nil
+	case tIdent:
+		l, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		op := p.peek()
+		switch op.kind {
+		case tLessX, tLessY, tEq:
+			p.next()
+		default:
+			return nil, errAt(op.off, `expected "<x", "<y" or "=" after variable %q, found %s`, l, op.describe())
+		}
+		r, err := p.variable()
+		if err != nil {
+			return nil, err
+		}
+		switch op.kind {
+		case tLessX:
+			return pointfo.LessX{L: l, R: r}, nil
+		case tLessY:
+			return pointfo.LessY{L: l, R: r}, nil
+		default:
+			return pointfo.SamePoint{L: l, R: r}, nil
+		}
+	default:
+		return nil, errAt(t.off, "expected a formula, found %s", t.describe())
+	}
+}
+
+// variable consumes one variable use, enforcing that it is bound and marking
+// it used for the unused-variable check.
+func (p *parser) variable() (string, error) {
+	t, err := p.expect(tIdent, "a variable name")
+	if err != nil {
+		return "", err
+	}
+	v := p.lookup(t.text)
+	if v == nil {
+		return "", errAt(t.off, "variable %q is not bound by any quantifier (the sentence must be closed)", t.text)
+	}
+	v.used = true
+	return t.text, nil
+}

@@ -1,0 +1,280 @@
+package queryl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/pointfo"
+	"repro/internal/spatial"
+)
+
+func TestParseBuildsLegacyASTs(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want pointfo.PointFormula
+	}{
+		{"exists u . in(P, u)",
+			pointfo.PExists{Vars: []string{"u"}, Body: pointfo.In{Region: "P", Var: "u"}}},
+		{"exists u . interior(P, u)",
+			pointfo.PExists{Vars: []string{"u"}, Body: pointfo.InInterior{Region: "P", Var: "u"}}},
+		{"exists u . in(P, u) and in(Q, u)", pointfo.QueryIntersect("P", "Q")},
+		{"forall u . in(P, u) implies in(Q, u)", pointfo.QueryContained("P", "Q")},
+		{"forall u . in(P, u) and in(Q, u) implies (in(P, u) and not interior(P, u)) and (in(Q, u) and not interior(Q, u))",
+			pointfo.QueryBoundaryOnlyIntersection("P", "Q")},
+	} {
+		q, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.src, err)
+			continue
+		}
+		if !pointfo.Equal(q.Formula, tc.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", tc.src, q.Formula, tc.want)
+		}
+	}
+}
+
+func TestParsePrecedenceAndConnectives(t *testing.T) {
+	atom := func(r, v string) pointfo.PointFormula { return pointfo.In{Region: r, Var: v} }
+	for _, tc := range []struct {
+		src  string
+		want pointfo.PointFormula
+	}{
+		// and binds tighter than or, or tighter than implies.
+		{"exists u . in(A, u) or in(B, u) and in(C, u)",
+			pointfo.PExists{Vars: []string{"u"}, Body: pointfo.POr{Fs: []pointfo.PointFormula{
+				atom("A", "u"),
+				pointfo.PAnd{Fs: []pointfo.PointFormula{atom("B", "u"), atom("C", "u")}},
+			}}}},
+		{"exists u . in(A, u) and in(B, u) implies in(C, u)",
+			pointfo.PExists{Vars: []string{"u"}, Body: pointfo.PImplies{
+				L: pointfo.PAnd{Fs: []pointfo.PointFormula{atom("A", "u"), atom("B", "u")}},
+				R: atom("C", "u"),
+			}}},
+		// implies is right-associative.
+		{"exists u . in(A, u) implies in(B, u) implies in(C, u)",
+			pointfo.PExists{Vars: []string{"u"}, Body: pointfo.PImplies{
+				L: atom("A", "u"),
+				R: pointfo.PImplies{L: atom("B", "u"), R: atom("C", "u")},
+			}}},
+		// not binds tightest; comparisons are atoms.
+		{"exists u, v . not u = v and u <x v or u <y v",
+			pointfo.PExists{Vars: []string{"u", "v"}, Body: pointfo.POr{Fs: []pointfo.PointFormula{
+				pointfo.PAnd{Fs: []pointfo.PointFormula{
+					pointfo.PNot{F: pointfo.SamePoint{L: "u", R: "v"}},
+					pointfo.LessX{L: "u", R: "v"},
+				}},
+				pointfo.LessY{L: "u", R: "v"},
+			}}}},
+		// Parentheses override and survive the round-trip structurally.
+		{"exists u . (in(A, u) or in(B, u)) and in(C, u)",
+			pointfo.PExists{Vars: []string{"u"}, Body: pointfo.PAnd{Fs: []pointfo.PointFormula{
+				pointfo.POr{Fs: []pointfo.PointFormula{atom("A", "u"), atom("B", "u")}},
+				atom("C", "u"),
+			}}}},
+		// Quoted region names.
+		{`exists u . in("land use", u)`,
+			pointfo.PExists{Vars: []string{"u"}, Body: pointfo.In{Region: "land use", Var: "u"}}},
+		// true/false literals.
+		{"exists u . in(P, u) implies true",
+			pointfo.PExists{Vars: []string{"u"}, Body: pointfo.PImplies{L: atom("P", "u"), R: pointfo.PAnd{}}}},
+		{"forall u . in(P, u) implies false",
+			pointfo.PForall{Vars: []string{"u"}, Body: pointfo.PImplies{L: atom("P", "u"), R: pointfo.POr{}}}},
+	} {
+		q, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.src, err)
+			continue
+		}
+		if !pointfo.Equal(q.Formula, tc.want) {
+			t.Errorf("Parse(%q) =\n%#v\nwant\n%#v", tc.src, q.Formula, tc.want)
+		}
+	}
+}
+
+// TestParseErrors pins the offset and wording class of every structured
+// error the parser and checker can produce.
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct {
+		src       string
+		offset    int
+		substring string
+	}{
+		{"", 0, "expected a formula"},
+		{"exists u .", 10, "expected a formula"},
+		{"exists . in(P, u)", 7, "variable name"},
+		{"exists u in(P, u)", 9, `"."`},
+		{"exists u . in(P u)", 16, `","`},
+		{"exists u . in(P, u) and", 23, "expected a formula"},
+		{"exists u . in(P, u))", 19, "unexpected"},
+		{"exists u . in(P, u) garbage", 20, "unexpected"},
+		{"exists u . u < v", 13, `"<x" or "<y"`},
+		{"exists u . u <z v", 13, `"<x" or "<y"`},
+		{"exists u, v . u <xv", 16, "separator"},
+		{"exists u . in(\"P, u)", 14, "unterminated"},
+		{"exists u . in(P, u) ¶", 20, "unexpected character"},
+		{"exists u . in(exists, u)", 14, "region name"},
+		// Semantic checks: closedness, shadowing, unused variables.
+		{"in(P, u)", 6, "not bound"},
+		{"exists u . in(P, v)", 17, "not bound"},
+		{"exists u . exists u . in(P, u)", 18, "shadows"},
+		{"exists u, u . in(P, u)", 10, "shadows"},
+		{"exists u, v . in(P, u)", 10, "never used"},
+		{"exists u . true", 7, "never used"},
+	} {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q): no error, want %q at %d", tc.src, tc.substring, tc.offset)
+			continue
+		}
+		var qe *Error
+		if !errors.As(err, &qe) {
+			t.Errorf("Parse(%q): error %T is not *queryl.Error", tc.src, err)
+			continue
+		}
+		if qe.Offset != tc.offset || !strings.Contains(qe.Msg, tc.substring) {
+			t.Errorf("Parse(%q) = %q at offset %d, want %q at %d", tc.src, qe.Msg, qe.Offset, tc.substring, tc.offset)
+		}
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	deep := strings.Repeat("(", MaxNestingDepth+5) + "in(P, u)" + strings.Repeat(")", MaxNestingDepth+5)
+	_, err := Parse("exists u . " + deep)
+	var qe *Error
+	if !errors.As(err, &qe) || !strings.Contains(qe.Msg, "nested deeper") {
+		t.Fatalf("deeply nested parse: %v, want a structured depth error", err)
+	}
+	// A chain at the same length is iterative and must parse fine.
+	long := "in(P, u)" + strings.Repeat(" and in(P, u)", MaxNestingDepth+5)
+	if _, err := Parse("exists u . " + long); err != nil {
+		t.Fatalf("long flat chain: %v", err)
+	}
+}
+
+// TestCanonicalRoundTrip: Format(Parse(s)) is a fixed point, and
+// Parse(Format(q)) == q for parser-produced ASTs.
+func TestCanonicalRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"exists u . in(P, u)",
+		"exists  u .  in( P ,  u )",
+		"exists u . in(P, u) and interior(Q, u)",
+		"forall u . in(P, u) implies not interior(Q, u)",
+		"exists u, v . (in(P, u) or in(Q, v)) and not u = v",
+		"forall u . forall v . u <x v implies not v <y u",
+		"exists u . ((in(P, u)))",
+		"exists u . (in(P, u) and in(Q, u)) and in(R, u)",
+		"exists u . in(P, u) implies (exists v . in(Q, v) and not u = v)",
+		"exists u . not (in(P, u) or in(Q, u))",
+		`exists u . in("weird name \"x\"", u)`,
+		"forall u . in(P, u) implies true",
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		back, err := Parse(q.Canonical)
+		if err != nil {
+			t.Errorf("canonical %q of %q does not reparse: %v", q.Canonical, src, err)
+			continue
+		}
+		if !pointfo.Equal(back.Formula, q.Formula) {
+			t.Errorf("round trip changed the AST:\nsrc    %q\ncanon  %q\n%#v\nvs\n%#v", src, q.Canonical, q.Formula, back.Formula)
+		}
+		if back.Canonical != q.Canonical {
+			t.Errorf("canonical form is not a fixed point: %q → %q", q.Canonical, back.Canonical)
+		}
+	}
+}
+
+func TestRegionsAndCheckSchema(t *testing.T) {
+	q := MustParse(`exists u . in(P, u) and (in(Q, u) or in(P, u)) and in("R S", u)`)
+	got := q.Regions()
+	want := []string{"P", "Q", "R S"}
+	if len(got) != len(want) {
+		t.Fatalf("Regions() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Regions() = %v, want %v", got, want)
+		}
+	}
+	if err := q.CheckSchema(spatial.MustSchema("P", "Q", "R S")); err != nil {
+		t.Errorf("CheckSchema with full schema: %v", err)
+	}
+	err := q.CheckSchema(spatial.MustSchema("P", "R S"))
+	var qe *Error
+	if !errors.As(err, &qe) {
+		t.Fatalf("CheckSchema missing Q: %v, want *queryl.Error", err)
+	}
+	if qe.Offset != 28 || !strings.Contains(qe.Msg, `"Q"`) {
+		t.Errorf("CheckSchema error = %q at %d, want mention of Q at offset 28", qe.Msg, qe.Offset)
+	}
+}
+
+func TestAliases(t *testing.T) {
+	legacy := map[string]pointfo.PointFormula{
+		"nonempty":     pointfo.PExists{Vars: []string{"u"}, Body: pointfo.In{Region: "P", Var: "u"}},
+		"hasinterior":  pointfo.PExists{Vars: []string{"u"}, Body: pointfo.InInterior{Region: "P", Var: "u"}},
+		"intersects":   pointfo.QueryIntersect("P", "Q"),
+		"contained":    pointfo.QueryContained("P", "Q"),
+		"boundaryonly": pointfo.QueryBoundaryOnlyIntersection("P", "Q"),
+	}
+	for _, name := range AliasNames {
+		regions := []string{"P", "Q"}[:AliasArity(name)]
+		src, err := Alias(name, regions...)
+		if err != nil {
+			t.Fatalf("Alias(%s): %v", name, err)
+		}
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Alias(%s) text %q does not parse: %v", name, src, err)
+		}
+		if !pointfo.Equal(q.Formula, legacy[name]) {
+			t.Errorf("Alias(%s) parses to\n%#v\nwant the legacy constructor's\n%#v", name, q.Formula, legacy[name])
+		}
+		// The canonical form of the legacy AST and of the parsed alias agree:
+		// one evaluation path, one answer-cache key.
+		if Format(legacy[name]) != q.Canonical {
+			t.Errorf("Alias(%s): Format(legacy) = %q, canonical = %q", name, Format(legacy[name]), q.Canonical)
+		}
+	}
+	if _, err := Alias("nope", "P"); err == nil {
+		t.Error("unknown alias accepted")
+	}
+	if _, err := Alias("intersects", "P"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Region names needing quoting flow through the alias expansion.
+	src, err := Alias("nonempty", "land use")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("quoted alias %q does not parse: %v", src, err)
+	}
+	if rs := q.Regions(); len(rs) != 1 || rs[0] != "land use" {
+		t.Errorf("quoted alias regions = %v", rs)
+	}
+}
+
+func TestFormatDegenerateNodes(t *testing.T) {
+	// Format is total: degenerate ASTs (unbuildable by the parser) still get
+	// deterministic text.
+	for _, tc := range []struct {
+		f    pointfo.PointFormula
+		want string
+	}{
+		{pointfo.PAnd{}, "true"},
+		{pointfo.POr{}, "false"},
+		{pointfo.PAnd{Fs: []pointfo.PointFormula{pointfo.In{Region: "P", Var: "u"}}}, "in(P, u)"},
+		{pointfo.In{Region: "land use", Var: "u"}, `in("land use", u)`},
+		{pointfo.In{Region: "exists", Var: "u"}, `in("exists", u)`},
+	} {
+		if got := Format(tc.f); got != tc.want {
+			t.Errorf("Format(%#v) = %q, want %q", tc.f, got, tc.want)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/invariant"
 	"repro/internal/pointfo"
+	"repro/internal/queryl"
 	"repro/internal/region"
 	"repro/internal/spatial"
 	"repro/internal/stats"
@@ -51,6 +52,12 @@ type (
 	Strategy = core.Strategy
 	// Query is a topological query in the point language FO(P,<x,<y).
 	Query = pointfo.PointFormula
+	// ParsedQuery is a parsed, canonicalized sentence of the textual query
+	// language: the AST plus the canonical text that is the query's identity.
+	ParsedQuery = queryl.Query
+	// QueryError is a structured query-language error with the byte offset
+	// of the offending token.
+	QueryError = queryl.Error
 	// Compression is the size/degree summary of a dataset.
 	Compression = stats.Compression
 	// Engine is the concurrent query engine with a content-addressed
@@ -113,6 +120,38 @@ var (
 	Measure = stats.Measure
 	// OpenWith prepares a Database seeded with a precomputed invariant.
 	OpenWith = core.OpenWith
+)
+
+// The textual query language (package queryl): parse arbitrary FO(P,<x,<y)
+// sentences like
+//
+//	exists u . in(P, u) and interior(Q, u)
+//	forall u . in(P, u) implies not interior(Q, u)
+//
+// into Query ASTs, and print any Query in the canonical concrete syntax.
+// The canonical text is the query's identity: the engine's answer cache and
+// the HTTP API key on it.
+var (
+	// ParseQuery parses and checks one sentence of the concrete syntax.
+	// Errors are *QueryError values with byte offsets into the source.
+	ParseQuery = queryl.Parse
+	// FormatQuery returns the canonical concrete-syntax text of a query.
+	FormatQuery = queryl.Format
+	// QueryAlias expands a legacy query name (nonempty | hasinterior |
+	// intersects | contained | boundaryonly) into concrete-syntax text.
+	QueryAlias = queryl.Alias
+	// QueryAliasNames lists the legacy query names.
+	QueryAliasNames = queryl.AliasNames
+	// QueryAliasArity returns a legacy name's region-argument count (-1 if
+	// unknown).
+	QueryAliasArity = queryl.AliasArity
+	// EqualQueries reports structural equality of two query ASTs.
+	EqualQueries = pointfo.Equal
+	// QueryDepth returns the quantifier depth of a query (evaluation cost is
+	// exponential in it — front ends should bound it on open endpoints).
+	QueryDepth = pointfo.QuantifierDepth
+	// WithAnswerCapacity bounds the engine's Boolean answer cache.
+	WithAnswerCapacity = engine.WithAnswerCapacity
 )
 
 // Persistence: the deterministic, versioned binary codec for instances and

@@ -135,3 +135,73 @@ func TestPublicPersistenceSurface(t *testing.T) {
 		t.Errorf("restarted engine: store_hits=%d computes=%d, want 1/0", stats.StoreHits, stats.Computes)
 	}
 }
+
+// TestPublicQueryLanguage drives the textual query-language surface: parse,
+// canonical formatting, schema resolution, AskText, and the engine's answer
+// cache on a user-written sentence.
+func TestPublicQueryLanguage(t *testing.T) {
+	schema := topoinv.MustSchema("P", "Q")
+	inst := topoinv.MustBuild(schema, map[string]topoinv.Region{
+		"P": topoinv.Rect(0, 0, 10, 10),
+		"Q": topoinv.Rect(3, 3, 6, 6),
+	})
+
+	q, err := topoinv.ParseQuery("forall u . in(Q, u) implies in(P, u)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topoinv.EqualQueries(q.Formula, topoinv.Contained("Q", "P")) {
+		t.Error("parsed containment differs from the Contained constructor")
+	}
+	if q.Canonical != topoinv.FormatQuery(topoinv.Contained("Q", "P")) {
+		t.Errorf("canonical %q differs from FormatQuery of the constructor", q.Canonical)
+	}
+	if err := q.CheckSchema(inst.Schema()); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err := topoinv.Open(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := db.AskText("forall u . in(Q, u) implies in(P, u)", topoinv.Direct)
+	if err != nil || !ok {
+		t.Errorf("AskText containment = %v, %v; want true", ok, err)
+	}
+	// A parse error surfaces as a structured *QueryError.
+	if _, err := db.AskText("forall u . in(Z, u) implies in(P, u)", topoinv.Direct); err == nil {
+		t.Error("unknown region accepted")
+	}
+
+	// The engine serves a repeated parsed ask from the answer cache.
+	eng := topoinv.NewEngine()
+	if res := eng.AskResult(inst, q.Formula, topoinv.Auto); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	res := eng.AskResult(inst, q.Formula, topoinv.Auto)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.AnswerHit {
+		t.Error("repeated ask missed the answer cache")
+	}
+	if res.Canonical != q.Canonical {
+		t.Errorf("engine canonical %q, parser canonical %q", res.Canonical, q.Canonical)
+	}
+	if st := eng.Stats(); st.AnswerHits != 1 {
+		t.Errorf("answer_hits = %d, want 1", st.AnswerHits)
+	}
+
+	// Legacy aliases expand to the same canonical identities the query
+	// constructors produce.
+	for _, name := range topoinv.QueryAliasNames {
+		regions := []string{"P", "Q"}[:topoinv.QueryAliasArity(name)]
+		src, err := topoinv.QueryAlias(name, regions...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := topoinv.ParseQuery(src); err != nil {
+			t.Errorf("alias %s text %q does not parse: %v", name, src, err)
+		}
+	}
+}
