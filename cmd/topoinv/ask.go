@@ -8,8 +8,9 @@
 // a built-in workload (-workload/-scale); -store points the engine at a
 // disk-persistent invariant store so repeated asks across processes skip the
 // arrangement.  The canonical form, the answer, the strategy that ran and
-// the cache path taken are printed; parse and schema errors show the byte
-// offset with a caret under the offending token.
+// the cache path taken are printed; -timings adds the per-stage span
+// breakdown (answer cache, invariant fetch, evaluation); parse and schema
+// errors show the byte offset with a caret under the offending token.
 package main
 
 import (
@@ -31,6 +32,7 @@ func runAsk(args []string) {
 	scale := fs.Int("scale", 1, "workload scale factor")
 	strategy := fs.String("strategy", "auto", "query strategy: direct | fo | fixpoint | linearized | auto")
 	storeDir := fs.String("store", "", "directory of a disk-persistent invariant store (optional)")
+	timings := fs.Bool("timings", false, "print the per-stage timing breakdown (answer cache, invariant, evaluation)")
 	fs.Parse(args)
 
 	if *q == "" {
@@ -79,7 +81,17 @@ func runAsk(args []string) {
 	}
 	defer engine.Close()
 
-	res := engine.AskResult(inst, parsed.Formula, strat)
+	// The span recorder stays nil unless -timings asked for the breakdown;
+	// the disabled path costs the engine one nil test per stage.
+	var span *topoinv.Span
+	if *timings {
+		span = topoinv.StartSpan("ask")
+	}
+	res := engine.Do(topoinv.BatchRequest{
+		Instance: inst, Query: parsed.Formula,
+		Strategy: strat, StrategySet: true, Span: span,
+	}, strat)
+	span.End()
 	if res.Err != nil {
 		log.Fatalf("ask: %v", res.Err)
 	}
@@ -89,6 +101,9 @@ func runAsk(args []string) {
 	fmt.Printf("latency:   %s\n", res.Latency)
 	st := engine.Stats()
 	fmt.Printf("cache:     invariant hit=%v store_hits=%d computes=%d\n", res.CacheHit, st.StoreHits, st.Computes)
+	if *timings {
+		fmt.Printf("timings:   %s\n", span)
+	}
 }
 
 // fatalQueryError prints a structured query error with a caret marking the

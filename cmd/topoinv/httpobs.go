@@ -1,0 +1,86 @@
+package main
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/topoinv"
+)
+
+// Per-route HTTP metrics on the shared default registry (served right back
+// at GET /metrics).  Route labels are the registration patterns, never raw
+// URLs, so cardinality is fixed by the route table.
+var (
+	mHTTPRequests = topoinv.Metrics.CounterVec(
+		"topoinv_http_requests_total",
+		"HTTP requests by route and status class (2xx | 4xx | 5xx).",
+		"route", "status_class")
+	mHTTPLatency = topoinv.Metrics.HistogramVec(
+		"topoinv_http_request_duration_seconds",
+		"HTTP request latency by route.",
+		topoinv.LatencyBuckets, "route")
+	mHTTPReqSize = topoinv.Metrics.Histogram(
+		"topoinv_http_request_size_bytes",
+		"HTTP request body sizes, from Content-Length.",
+		topoinv.SizeBuckets)
+	mHTTPInflight = topoinv.Metrics.Gauge(
+		"topoinv_http_inflight_requests",
+		"HTTP requests currently being served.")
+	mNDJSONLines = topoinv.Metrics.Counter(
+		"topoinv_http_ndjson_lines_total",
+		"NDJSON result lines streamed to batch clients.")
+)
+
+// statusWriter captures the response status for the status_class label.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so NDJSON streaming keeps flushing
+// per line through the instrumentation wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func statusClass(code int) string { return strconv.Itoa(code/100) + "xx" }
+
+// handle registers h wrapped with the per-route instrumentation: a request
+// id in the context (engine log lines pick it up as req_id), the inflight
+// gauge, request size, and latency + status-class counters keyed by route.
+func (s *server) handle(mux *http.ServeMux, pattern, route string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		r = r.WithContext(topoinv.WithRequestID(r.Context(), topoinv.NewRequestID()))
+		if r.ContentLength > 0 {
+			mHTTPReqSize.Observe(float64(r.ContentLength))
+		}
+		mHTTPInflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		mHTTPInflight.Add(-1)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		mHTTPRequests.With(route, statusClass(status)).Inc()
+		mHTTPLatency.With(route).ObserveDuration(time.Since(start))
+	})
+}

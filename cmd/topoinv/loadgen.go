@@ -1,0 +1,398 @@
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/topoinv"
+)
+
+// The loadgen subcommand drives a running topoinv server with a steady mix
+// of ask / batch / import traffic at a target QPS and reports throughput and
+// client-side latency percentiles.  Latencies are aggregated with the same
+// fixed-bucket histogram the server's /metrics instruments use, so the
+// numbers are directly comparable with the server-side view, and the JSON
+// report (-o) matches the benchjson shape CI archives as BENCH_*.json.
+
+type loadConfig struct {
+	addr      string // base URL of a running server, e.g. http://127.0.0.1:8080
+	qps       float64
+	duration  time.Duration
+	workers   int
+	workload  string
+	scale     int
+	mix       [3]int // ask : batch : import weights
+	batchSize int
+	seed      int64
+}
+
+// op kinds, indexed by the mix weights.
+const (
+	opAsk = iota
+	opBatch
+	opImport
+	opKinds
+)
+
+var opNames = [opKinds]string{"ask", "batch", "import"}
+
+// kindStats aggregates one op kind's client-side observations.  The
+// histogram is a standalone obs histogram — the same bucket layout and
+// quantile estimator the server exports, unregistered so repeated runs in
+// one process (tests) start from zero.
+type kindStats struct {
+	hist  *topoinv.MetricsHistogram
+	count atomic.Uint64
+	errs  atomic.Uint64
+}
+
+type loadResultJSON struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// loadReportJSON mirrors cmd/benchjson's report shape, so CI tooling that
+// consumes BENCH_*.json artifacts reads loadgen output unchanged.
+type loadReportJSON struct {
+	Context []string         `json:"context,omitempty"`
+	Results []loadResultJSON `json:"results"`
+}
+
+func runLoadgen(args []string) {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of a running topoinv server")
+	qps := fs.Float64("qps", 200, "target request rate (requests/second across all workers)")
+	duration := fs.Duration("duration", 10*time.Second, "how long to drive load")
+	workers := fs.Int("workers", 8, "concurrent client workers")
+	workloadName := fs.String("workload", "nested", "workload backing the generated traffic")
+	scale := fs.Int("scale", 2, "workload scale factor")
+	mix := fs.String("mix", "8:1:1", "ask:batch:import traffic weights")
+	batchSize := fs.Int("batch-size", 8, "queries per batch request")
+	seed := fs.Int64("seed", 1, "PRNG seed for query selection")
+	out := fs.String("o", "", "write a benchjson-compatible JSON report to this file")
+	fs.Parse(args)
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	cfg := loadConfig{
+		addr:      strings.TrimRight(*addr, "/"),
+		qps:       *qps,
+		duration:  *duration,
+		workers:   *workers,
+		workload:  *workloadName,
+		scale:     *scale,
+		mix:       weights,
+		batchSize: *batchSize,
+		seed:      *seed,
+	}
+	rep, summary, err := runLoad(cfg)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	fmt.Print(summary)
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %d results to %s\n", len(rep.Results), *out)
+	}
+}
+
+func parseMix(s string) ([3]int, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return [3]int{}, fmt.Errorf("bad mix %q (want ask:batch:import, e.g. 8:1:1)", s)
+	}
+	var w [3]int
+	total := 0
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return [3]int{}, fmt.Errorf("bad mix weight %q", p)
+		}
+		w[i] = n
+		total += n
+	}
+	if total == 0 {
+		return [3]int{}, fmt.Errorf("mix %q has no traffic", s)
+	}
+	return w, nil
+}
+
+// runLoad drives the configured load and returns the benchjson report plus a
+// human-readable summary.  Split from runLoadgen so the smoke test can run
+// it against an httptest server.
+func runLoad(cfg loadConfig) (*loadReportJSON, string, error) {
+	inst, err := generateWorkload(cfg.workload, cfg.scale)
+	if err != nil {
+		return nil, "", err
+	}
+	blob, err := topoinv.Encode(inst)
+	if err != nil {
+		return nil, "", err
+	}
+	loadBody, err := json.Marshal(map[string]any{"data": base64.StdEncoding.EncodeToString(blob)})
+	if err != nil {
+		return nil, "", err
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Load the instance once up front: it both primes the ask/batch target
+	// and verifies the server is reachable before the clock starts.
+	id, err := postInstance(client, cfg.addr, loadBody)
+	if err != nil {
+		return nil, "", fmt.Errorf("priming instance: %w", err)
+	}
+
+	askBodies, err := buildAskBodies(inst, id)
+	if err != nil {
+		return nil, "", err
+	}
+	batchBody, err := buildBatchBody(askBodies, cfg.batchSize)
+	if err != nil {
+		return nil, "", err
+	}
+
+	// The op schedule interleaves the mix proportionally (largest-remainder
+	// order, 8:1:1 → a 10-op cycle with batch and import spread through it),
+	// so the blend holds even for runs short enough to see only one cycle.
+	total := cfg.mix[0] + cfg.mix[1] + cfg.mix[2]
+	schedule := make([]int, 0, total)
+	var acc [opKinds]float64
+	for i := 0; i < total; i++ {
+		best := 0
+		for k := range acc {
+			acc[k] += float64(cfg.mix[k]) / float64(total)
+			if acc[k] > acc[best] {
+				best = k
+			}
+		}
+		acc[best]--
+		schedule = append(schedule, best)
+	}
+
+	var stats [opKinds]kindStats
+	overall := topoinv.NewHistogram(topoinv.LatencyBuckets)
+	for i := range stats {
+		stats[i].hist = topoinv.NewHistogram(topoinv.LatencyBuckets)
+	}
+
+	// Pacing: a central producer releases one token per 1/qps interval until
+	// the deadline; workers block on the channel, so if the server falls
+	// behind, the channel backs up and the achieved rate (reported below)
+	// drops instead of piling up unbounded in-flight requests.
+	interval := time.Duration(float64(time.Second) / cfg.qps)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticks := make(chan int, cfg.workers)
+	go func() {
+		defer close(ticks)
+		deadline := time.Now().Add(cfg.duration)
+		tk := time.NewTicker(interval)
+		defer tk.Stop()
+		for n := 0; ; n++ {
+			if time.Now().After(deadline) {
+				return
+			}
+			select {
+			case ticks <- n:
+			case <-time.After(time.Until(deadline)):
+				return
+			}
+			<-tk.C
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(worker)))
+			for n := range ticks {
+				kind := schedule[n%len(schedule)]
+				var body []byte
+				var path string
+				switch kind {
+				case opAsk:
+					path, body = "/v1/ask", askBodies[rng.Intn(len(askBodies))]
+				case opBatch:
+					path, body = "/v1/batch", batchBody
+				case opImport:
+					path, body = "/v1/instances", loadBody
+				}
+				t0 := time.Now()
+				ok := doPost(client, cfg.addr+path, body)
+				d := time.Since(t0)
+				stats[kind].hist.ObserveDuration(d)
+				overall.ObserveDuration(d)
+				stats[kind].count.Add(1)
+				if !ok {
+					stats[kind].errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return buildLoadReport(cfg, stats[:], overall, elapsed)
+}
+
+func postInstance(client *http.Client, addr string, body []byte) (string, error) {
+	resp, err := client.Post(addr+"/v1/instances", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var loaded struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&loaded); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("server said %d: %s", resp.StatusCode, loaded.Error)
+	}
+	return loaded.ID, nil
+}
+
+// buildAskBodies expands every legacy query alias over the instance's region
+// names into pre-marshalled /v1/ask payloads (strategy auto, so the server
+// exercises strategy resolution too).
+func buildAskBodies(inst *topoinv.Instance, id string) ([][]byte, error) {
+	names := inst.SortedNames()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("workload has no regions")
+	}
+	var bodies [][]byte
+	add := func(formula string) error {
+		b, err := json.Marshal(map[string]string{"id": id, "formula": formula, "strategy": "auto"})
+		if err != nil {
+			return err
+		}
+		bodies = append(bodies, b)
+		return nil
+	}
+	for _, alias := range topoinv.QueryAliasNames {
+		arity := topoinv.QueryAliasArity(alias)
+		for i := range names {
+			regions := make([]string, arity)
+			for j := range regions {
+				regions[j] = names[(i+j)%len(names)]
+			}
+			f, err := topoinv.QueryAlias(alias, regions...)
+			if err != nil {
+				return nil, err
+			}
+			if err := add(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return bodies, nil
+}
+
+func buildBatchBody(askBodies [][]byte, size int) ([]byte, error) {
+	reqs := make([]json.RawMessage, 0, size)
+	for i := 0; i < size; i++ {
+		reqs = append(reqs, json.RawMessage(askBodies[i%len(askBodies)]))
+	}
+	return json.Marshal(map[string]any{"strategy": "auto", "requests": reqs})
+}
+
+// doPost performs one request; any transport error or non-2xx status counts
+// as an op error.  Bodies are drained so connections are reused.
+func doPost(client *http.Client, url string, body []byte) bool {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var sink [512]byte
+	for {
+		if _, err := resp.Body.Read(sink[:]); err != nil {
+			break
+		}
+	}
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+func buildLoadReport(cfg loadConfig, stats []kindStats, overall *topoinv.MetricsHistogram, elapsed time.Duration) (*loadReportJSON, string, error) {
+	var sb strings.Builder
+	total := overall.Count()
+	achieved := float64(total) / elapsed.Seconds()
+	fmt.Fprintf(&sb, "loadgen: %s for %s at target %.0f qps (mix ask:batch:import = %d:%d:%d, %d workers)\n",
+		cfg.workload, elapsed.Round(time.Millisecond), cfg.qps, cfg.mix[0], cfg.mix[1], cfg.mix[2], cfg.workers)
+	fmt.Fprintf(&sb, "loadgen: %d requests, %.1f achieved qps\n", total, achieved)
+
+	rep := &loadReportJSON{Context: []string{
+		fmt.Sprintf("loadgen: addr=%s workload=%s scale=%d qps=%.0f duration=%s workers=%d mix=%d:%d:%d batch-size=%d",
+			cfg.addr, cfg.workload, cfg.scale, cfg.qps, cfg.duration, cfg.workers,
+			cfg.mix[0], cfg.mix[1], cfg.mix[2], cfg.batchSize),
+	}}
+
+	emit := func(name string, h *topoinv.MetricsHistogram, count, errs uint64, qps float64) {
+		if count == 0 {
+			return
+		}
+		p50, p90, p99 := h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+		fmt.Fprintf(&sb, "loadgen: %-7s n=%-6d errs=%-4d p50=%s p90=%s p99=%s\n",
+			name, count, errs, secDur(p50), secDur(p90), secDur(p99))
+		r := loadResultJSON{
+			Name:       "Loadgen/" + name,
+			Iterations: int64(count),
+			NsPerOp:    h.Sum() / float64(count) * 1e9,
+			Metrics: map[string]float64{
+				"p50-ns": p50 * 1e9,
+				"p90-ns": p90 * 1e9,
+				"p99-ns": p99 * 1e9,
+				"errors": float64(errs),
+			},
+		}
+		if qps > 0 {
+			r.Metrics["qps"] = qps
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	var totalErrs uint64
+	for kind := range stats {
+		emit(opNames[kind], stats[kind].hist, stats[kind].count.Load(), stats[kind].errs.Load(), 0)
+		totalErrs += stats[kind].errs.Load()
+	}
+	emit("overall", overall, total, totalErrs, achieved)
+	if total == 0 {
+		return nil, "", fmt.Errorf("no requests completed within %s", cfg.duration)
+	}
+	return rep, sb.String(), nil
+}
+
+func secDur(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second)).Round(10 * time.Microsecond)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	if w, err := parseMix("8:1:1"); err != nil || w != [3]int{8, 1, 1} {
+		t.Errorf("parseMix(8:1:1) = %v, %v", w, err)
+	}
+	if w, err := parseMix("1:0:0"); err != nil || w != [3]int{1, 0, 0} {
+		t.Errorf("parseMix(1:0:0) = %v, %v", w, err)
+	}
+	for _, bad := range []string{"", "1:2", "a:b:c", "0:0:0", "-1:1:1"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLoadgenSmoke drives a short mixed load against an httptest server and
+// checks the report: traffic flowed, nothing errored, and the benchjson
+// shape carries the percentile metrics CI archives.  Runs in short mode — it
+// is the CI smoke for the loadgen path.
+func TestLoadgenSmoke(t *testing.T) {
+	ts := testServer(t)
+	cfg := loadConfig{
+		addr:      ts.URL,
+		qps:       400,
+		duration:  500 * time.Millisecond,
+		workers:   4,
+		workload:  "nested",
+		scale:     1,
+		mix:       [3]int{4, 1, 1},
+		batchSize: 3,
+		seed:      1,
+	}
+	rep, summary, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary == "" {
+		t.Error("empty human summary")
+	}
+
+	results := map[string]loadResultJSON{}
+	for _, r := range rep.Results {
+		results[r.Name] = r
+	}
+	overall, ok := results["Loadgen/overall"]
+	if !ok {
+		t.Fatalf("report has no Loadgen/overall entry: %+v", rep.Results)
+	}
+	if overall.Iterations == 0 {
+		t.Fatal("no requests completed")
+	}
+	if overall.Metrics["qps"] <= 0 {
+		t.Errorf("overall qps = %v, want > 0", overall.Metrics["qps"])
+	}
+	// Every kind in the mix saw traffic, reported latencies and no errors.
+	for _, name := range []string{"Loadgen/ask", "Loadgen/batch", "Loadgen/import", "Loadgen/overall"} {
+		r, ok := results[name]
+		if !ok {
+			t.Errorf("report is missing %s", name)
+			continue
+		}
+		if r.Iterations == 0 {
+			t.Errorf("%s: no iterations", name)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %v", name, r.NsPerOp)
+		}
+		for _, q := range []string{"p50-ns", "p90-ns", "p99-ns"} {
+			if r.Metrics[q] <= 0 {
+				t.Errorf("%s: %s = %v, want > 0", name, q, r.Metrics[q])
+			}
+		}
+		if r.Metrics["errors"] != 0 {
+			t.Errorf("%s: %v errors against a healthy server", name, r.Metrics["errors"])
+		}
+	}
+}

@@ -17,7 +17,11 @@
 //	    and answer it with a chosen strategy;
 //	topoinv serve -addr :8080 [-store dir]
 //	    run the concurrent query engine behind a small HTTP JSON API, with an
-//	    optional disk-persistent invariant store.
+//	    optional disk-persistent invariant store, Prometheus metrics at
+//	    /metrics, structured logging and graceful shutdown;
+//	topoinv loadgen -addr http://host:8080 -qps 200 -duration 10s
+//	    drive a running server with a steady ask/batch/import mix and report
+//	    throughput and latency percentiles (benchjson-compatible JSON via -o).
 //
 // Running with no subcommand behaves like "measure" (the historical CLI).
 package main
@@ -38,7 +42,7 @@ func main() {
 	cmd := "measure"
 	if len(args) > 0 {
 		switch {
-		case args[0] == "measure" || args[0] == "encode" || args[0] == "decode" || args[0] == "serve" || args[0] == "import" || args[0] == "ask":
+		case args[0] == "measure" || args[0] == "encode" || args[0] == "decode" || args[0] == "serve" || args[0] == "import" || args[0] == "ask" || args[0] == "loadgen":
 			cmd, args = args[0], args[1:]
 		case args[0] == "-h" || args[0] == "--help" || args[0] == "help":
 			usage()
@@ -62,6 +66,8 @@ func main() {
 		runAsk(args)
 	case "serve":
 		runServe(args)
+	case "loadgen":
+		runLoadgen(args)
 	}
 }
 
@@ -75,6 +81,7 @@ commands:
   import    convert a GeoJSON document to a binary instance
   ask       answer one FO(P,<x,<y) sentence against an instance
   serve     run the query engine as an HTTP JSON service
+  loadgen   drive a running server at a target QPS and report latency percentiles
 
 Run "topoinv <command> -h" for per-command flags.
 `)

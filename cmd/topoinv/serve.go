@@ -22,6 +22,9 @@
 //	                            parsed, so both spellings share one
 //	                            evaluation path and one answer-cache entry.
 //	                            The response carries the canonical form.
+//	                            With ?debug=timings the response also carries
+//	                            a per-stage "timings" span tree (answer
+//	                            cache, invariant fetch, evaluation).
 //	POST /v1/batch              many queries over the worker pool:
 //	                            {"strategy":"fixpoint","requests":[{…},…]};
 //	                            each request may carry its own "strategy"
@@ -30,8 +33,29 @@
 //	                            streams one JSON line per result as workers
 //	                            finish (each line carries "index"); otherwise
 //	                            a JSON array in request order is returned.
+//	                            ?debug=timings adds per-item span trees.
 //	GET  /v1/stats              engine caches (invariant + answer) and
-//	                            per-strategy counters
+//	                            per-strategy counters, plus uptime_seconds,
+//	                            build info (module version / vcs revision)
+//	                            and a JSON snapshot of every /metrics
+//	                            instrument; served with Cache-Control:
+//	                            no-store so dashboards can detect restarts
+//	GET  /metrics               every registered instrument (engine, store,
+//	                            sweep/arrangement, HTTP) in the Prometheus
+//	                            text exposition format
+//
+// Flags beyond the PR-4 set: -log-format text|json and -log-level pick the
+// structured-log encoding (all serve logging is log/slog with req_id /
+// instance / strategy keys; request ids propagate through the request
+// context into engine log lines), -slow <duration> logs any request slower
+// than the threshold together with its full span tree, and -debug-addr
+// mounts net/http/pprof on a second, normally loopback-only listener kept
+// off the public API socket.
+//
+// Shutdown is graceful: SIGINT/SIGTERM stops accepting connections, drains
+// in-flight requests (NDJSON streams included) for up to 10s via
+// http.Server.Shutdown, and only then flushes and closes the invariant
+// store — the manifest write can no longer race open requests.
 //
 // Query-language errors (parse failures, unresolved region names) come back
 // as {"error": …, "offset": N} with the byte offset into the formula.
@@ -39,19 +63,23 @@ package main
 
 import (
 	"compress/gzip"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"repro/topoinv"
 )
@@ -63,7 +91,18 @@ func runServe(args []string) {
 	answerCap := fs.Int("answers", 0, "answer cache capacity (0 = default)")
 	workers := fs.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 	storeDir := fs.String("store", "", "directory for the disk-persistent invariant store (empty = memory only)")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text | json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug | info | warn | error")
+	slow := fs.Duration("slow", 0, "log requests slower than this threshold with their span tree (0 = off)")
+	debugAddr := fs.String("debug-addr", "", "optional second listen address serving net/http/pprof (keep it loopback-only)")
 	fs.Parse(args)
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	opts := []topoinv.EngineOption{topoinv.WithCacheCapacity(*cacheCap)}
 	if *answerCap > 0 {
@@ -77,50 +116,137 @@ func runServe(args []string) {
 	}
 	engine := topoinv.NewEngine(opts...)
 	if err := engine.StoreErr(); err != nil {
-		log.Fatal(err)
+		logger.Error("opening invariant store", "err", err)
+		os.Exit(1)
 	}
 	if *storeDir != "" {
-		log.Printf("invariant store at %s (%d invariants on disk)", *storeDir, engine.Store().Len())
-		// Flush the store manifest on SIGINT/SIGTERM.  Not required for
-		// correctness — Open rebuilds from the shard logs — but a current
-		// manifest lets the next Open verify checksums over everything.
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		go func() {
-			<-sig
-			if err := engine.Close(); err != nil {
-				log.Printf("closing invariant store: %v", err)
-			}
-			os.Exit(0)
-		}()
+		logger.Info("invariant store open", "dir", *storeDir, "invariants", engine.Store().Len())
 	}
-	srv := newServer(engine)
-	log.Printf("topoinv engine listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+
+	if *debugAddr != "" {
+		go servePprof(logger, *debugAddr)
+	}
+
+	s := newServer(engine)
+	s.slow = *slow
+	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests (NDJSON
+	// streams included), then flush the store manifest.  Closing the engine
+	// only after Shutdown returns means the manifest write cannot race an
+	// open request's store reads.
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		<-sig
+		logger.Info("signal received; draining in-flight requests")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Warn("shutdown did not drain cleanly", "err", err)
+		}
+	}()
+
+	logger.Info("topoinv engine listening", "addr", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	<-done
+	if err := engine.Close(); err != nil {
+		logger.Error("closing invariant store", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("shutdown complete")
+}
+
+func buildLogger(format, level string) (*slog.Logger, error) {
+	lvl, err := topoinv.ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	if format != "text" && format != "json" {
+		return nil, fmt.Errorf("unknown log format %q (want text | json)", format)
+	}
+	return topoinv.NewLogger(os.Stderr, format, lvl), nil
+}
+
+// servePprof mounts net/http/pprof on its own listener, so profiling stays
+// off the public API socket (bind it to loopback in production).
+func servePprof(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("pprof listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("pprof listener failed", "addr", addr, "err", err)
+	}
 }
 
 // server is the HTTP front-end: a registry of loaded instances (keyed by
 // content address) in front of the shared query engine.
 type server struct {
 	engine *topoinv.Engine
+	start  time.Time
+	build  buildInfo
+	// slow is the slow-request log threshold (0 disables); requests over it
+	// are logged with their full span tree.
+	slow time.Duration
 
 	mu        sync.RWMutex
 	instances map[string]*topoinv.Instance
 }
 
 func newServer(e *topoinv.Engine) *server {
-	return &server{engine: e, instances: make(map[string]*topoinv.Instance)}
+	return &server{
+		engine:    e,
+		start:     time.Now(),
+		build:     readBuildInfo(),
+		instances: make(map[string]*topoinv.Instance),
+	}
+}
+
+// buildInfo identifies the running binary, so a dashboard can tell a restart
+// from a redeploy.
+type buildInfo struct {
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+}
+
+func readBuildInfo() buildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return buildInfo{}
+	}
+	out := buildInfo{Version: bi.Main.Version, GoVersion: bi.GoVersion}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/instances", s.handleLoad)
-	mux.HandleFunc("GET /v1/instances", s.handleList)
-	mux.HandleFunc("DELETE /v1/instances/{id}", s.handleUnload)
-	mux.HandleFunc("GET /v1/instances/{id}/invariant", s.handleInvariant)
-	mux.HandleFunc("POST /v1/ask", s.handleAsk)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.handle(mux, "POST /v1/instances", "/v1/instances", s.handleLoad)
+	s.handle(mux, "GET /v1/instances", "/v1/instances", s.handleList)
+	s.handle(mux, "DELETE /v1/instances/{id}", "/v1/instances/{id}", s.handleUnload)
+	s.handle(mux, "GET /v1/instances/{id}/invariant", "/v1/instances/{id}/invariant", s.handleInvariant)
+	s.handle(mux, "POST /v1/ask", "/v1/ask", s.handleAsk)
+	s.handle(mux, "POST /v1/batch", "/v1/batch", s.handleBatch)
+	s.handle(mux, "GET /v1/stats", "/v1/stats", s.handleStats)
+	s.handle(mux, "GET /metrics", "/metrics", handleMetrics)
 	return mux
 }
 
@@ -261,6 +387,9 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	s.instances[id] = inst
 	s.mu.Unlock()
 	sum := inst.Summarise()
+	slog.Debug("serve: instance loaded",
+		"req_id", topoinv.RequestIDFrom(r.Context()),
+		"instance", id, "regions", sum.Regions, "points", sum.Points)
 	writeJSON(w, http.StatusOK, loadResponse{ID: id, Regions: sum.Regions, Features: sum.Features, Points: sum.Points})
 }
 
@@ -367,6 +496,8 @@ type askResponse struct {
 	AnswerHit bool   `json:"answer_hit"`
 	Latency   int64  `json:"latency_ns"`
 	Strategy  string `json:"strategy"`
+	// Timings is the per-stage span tree, present only with ?debug=timings.
+	Timings *topoinv.StageTiming `json:"timings,omitempty"`
 }
 
 // maxQuantifierDepth caps the quantifier depth of served formulas.
@@ -432,6 +563,12 @@ func parseStrategy(name string) (topoinv.Strategy, error) {
 	return s, nil
 }
 
+// wantTimings reports whether the request opted into the per-stage timings
+// breakdown (?debug=timings).
+func wantTimings(r *http.Request) bool {
+	return r.URL.Query().Get("debug") == "timings"
+}
+
 func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req askRequest
@@ -454,12 +591,25 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res := s.engine.AskResult(inst, q, strat)
+	// The span recorder stays nil unless the client asked for timings or
+	// slow-request logging needs a tree to print: the disabled path costs
+	// one nil test per stage in the engine.
+	var span *topoinv.Span
+	if wantTimings(r) || s.slow > 0 {
+		span = topoinv.StartSpan("ask")
+	}
+	res := s.engine.Do(topoinv.BatchRequest{
+		Instance: inst, Query: q,
+		Strategy: strat, StrategySet: true,
+		Ctx: r.Context(), Span: span,
+	}, strat)
+	span.End()
+	s.logSlow(r, "ask", req.ID, res, span)
 	if res.Err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", res.Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, askResponse{
+	resp := askResponse{
 		Answer:    res.Answer,
 		Canonical: res.Canonical,
 		CacheHit:  res.CacheHit,
@@ -468,7 +618,27 @@ func (s *server) handleAsk(w http.ResponseWriter, r *http.Request) {
 		// The strategy that actually ran: for "auto" this is the resolved
 		// one (fixpoint or the direct fallback).
 		Strategy: res.Strategy.String(),
-	})
+	}
+	if wantTimings(r) {
+		resp.Timings = span.Timings()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// logSlow emits a slow-request log line (with the span tree when one was
+// recorded) for requests over the -slow threshold.
+func (s *server) logSlow(r *http.Request, kind, instance string, res topoinv.BatchResult, span *topoinv.Span) {
+	if s.slow <= 0 || res.Latency < s.slow {
+		return
+	}
+	slog.Warn("serve: slow request",
+		"req_id", topoinv.RequestIDFrom(r.Context()),
+		"kind", kind,
+		"instance", instance,
+		"strategy", res.Strategy.String(),
+		"latency", res.Latency,
+		"canonical", res.Canonical,
+		"span", span.String())
 }
 
 // queryError writes a query-construction failure.  Structured query-language
@@ -500,9 +670,11 @@ type batchItemResponse struct {
 	AnswerHit bool   `json:"answer_hit"`
 	Latency   int64  `json:"latency_ns"`
 	Strategy  string `json:"strategy,omitempty"`
+	// Timings is the per-stage span tree, present only with ?debug=timings.
+	Timings *topoinv.StageTiming `json:"timings,omitempty"`
 }
 
-func batchItem(index int, res topoinv.BatchResult) batchItemResponse {
+func batchItem(index int, res topoinv.BatchResult, span *topoinv.Span) batchItemResponse {
 	out := batchItemResponse{
 		Index:     index,
 		Answer:    res.Answer,
@@ -514,6 +686,10 @@ func batchItem(index int, res topoinv.BatchResult) batchItemResponse {
 	}
 	if res.Err != nil {
 		out.Error = res.Err.Error()
+	}
+	if span != nil {
+		span.End()
+		out.Timings = span.Timings()
 	}
 	return out
 }
@@ -540,7 +716,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	timings := wantTimings(r)
 	out := make([]batchItemResponse, len(req.Requests))
+	spans := make([]*topoinv.Span, len(req.Requests))
 	var engReqs []topoinv.BatchRequest
 	var origIdx []int
 	for i, a := range req.Requests {
@@ -562,7 +740,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 			continue
 		}
-		engReq := topoinv.BatchRequest{Instance: inst, Query: q}
+		engReq := topoinv.BatchRequest{Instance: inst, Query: q, Ctx: r.Context()}
+		if timings {
+			spans[i] = topoinv.StartSpan("batch_item")
+			engReq.Span = spans[i]
+		}
 		if a.Strategy != "" {
 			strat, err := parseStrategy(a.Strategy)
 			if err != nil {
@@ -595,10 +777,16 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if err := enc.Encode(item); err != nil {
-				log.Printf("serve: ndjson client gone after item %d: %v", item.Index, err)
+				// Debug, not Info: a client hanging up mid-stream is routine
+				// under load, and one line per disconnected batch would be
+				// pure log spam.
+				slog.Debug("serve: ndjson client gone",
+					"req_id", topoinv.RequestIDFrom(r.Context()),
+					"after_item", item.Index, "err", err)
 				gone = true
 				return
 			}
+			mNDJSONLines.Inc()
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -611,26 +799,60 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		for res := range s.engine.BatchStream(engReqs, defStrat) {
-			emit(batchItem(origIdx[res.Index], res))
+			i := origIdx[res.Index]
+			item := batchItem(i, res, spans[i])
+			s.logSlow(r, "batch_item", req.Requests[i].ID, res, spans[i])
+			emit(item)
 		}
 		return
 	}
 
 	for _, res := range s.engine.Batch(engReqs, defStrat) {
-		out[origIdx[res.Index]] = batchItem(origIdx[res.Index], res)
+		i := origIdx[res.Index]
+		out[i] = batchItem(i, res, spans[i])
+		s.logSlow(r, "batch_item", req.Requests[i].ID, res, spans[i])
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
+// statsResponse embeds the engine snapshot (its fields stay at the top level
+// for existing clients) and adds service-level identity: uptime, build info
+// and the full metrics snapshot.
+type statsResponse struct {
+	topoinv.EngineStats
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Build         buildInfo      `json:"build"`
+	Metrics       map[string]any `json:"metrics"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.engine.Stats())
+	// Dashboards poll this endpoint to detect restarts (uptime going
+	// backwards); a cached response would mask exactly that signal.
+	w.Header().Set("Cache-Control", "no-store, no-cache, must-revalidate")
+	w.Header().Set("Pragma", "no-cache")
+	writeJSON(w, http.StatusOK, statsResponse{
+		EngineStats:   s.engine.Stats(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         s.build,
+		Metrics:       topoinv.MetricsSnapshot(),
+	})
+}
+
+// handleMetrics renders every registered instrument in the Prometheus text
+// exposition format.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	if err := topoinv.WriteMetrics(w); err != nil {
+		slog.Debug("serve: metrics client gone", "err", err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		log.Printf("serve: encoding response: %v", err)
+		slog.Debug("serve: encoding response", "err", err)
 	}
 }
 

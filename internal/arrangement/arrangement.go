@@ -27,6 +27,7 @@ package arrangement
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/spatial"
@@ -275,7 +276,9 @@ func Build(inst *spatial.Instance, opts ...Option) (*Complex, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	start := time.Now()
 	if err := inst.Validate(); err != nil {
+		mBuilds.With("error").Inc()
 		return nil, fmt.Errorf("arrangement: invalid instance: %w", err)
 	}
 
@@ -285,6 +288,7 @@ func Build(inst *spatial.Instance, opts ...Option) (*Complex, error) {
 	// 2. Face tracing on the full subdivision.
 	full, err := traceFaces(sub)
 	if err != nil {
+		mBuilds.With("error").Inc()
 		return nil, err
 	}
 
@@ -303,6 +307,11 @@ func Build(inst *spatial.Instance, opts ...Option) (*Complex, error) {
 	cx.Stats.ReducedEdges = len(cx.Edges)
 	cx.Stats.Faces = len(cx.Faces)
 	fillDegreeStats(cx)
+	mBuildLatency.ObserveDuration(time.Since(start))
+	mBuilds.With("ok").Inc()
+	mSubSegments.Add(uint64(cx.Stats.SubSegments))
+	mIntersectionOps.Add(uint64(cx.Stats.IntersectionOps))
+	mFacesClassified.Add(uint64(cx.Stats.Faces))
 	return cx, nil
 }
 

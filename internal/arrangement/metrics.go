@@ -1,0 +1,28 @@
+package arrangement
+
+import (
+	"repro/internal/obs"
+)
+
+// Process-wide arrangement metrics (obs default registry, served at
+// GET /metrics).  Build is the cold path the ROADMAP's sweep-rebuild item
+// targets; these are the counters that will prove that win when it lands.
+var (
+	mBuildLatency = obs.Default.Histogram(
+		"topoinv_arrangement_build_seconds",
+		"Wall-clock latency of one maximum-cell-decomposition build.",
+		obs.DefLatencyBuckets)
+	mBuilds = obs.Default.CounterVec(
+		"topoinv_arrangement_builds_total",
+		"Decomposition builds by outcome (ok | error).",
+		"outcome")
+	mSubSegments = obs.Default.Counter(
+		"topoinv_arrangement_subsegments_total",
+		"Elementary sub-segments produced by subdivision.")
+	mIntersectionOps = obs.Default.Counter(
+		"topoinv_arrangement_intersection_ops_total",
+		"Exact segment-pair intersection computations performed.")
+	mFacesClassified = obs.Default.Counter(
+		"topoinv_arrangement_faces_classified_total",
+		"Faces traced and sign-classified across all builds.")
+)

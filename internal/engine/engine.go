@@ -28,9 +28,11 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,6 +41,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 	"repro/internal/pointfo"
 	"repro/internal/queryl"
 	"repro/internal/spatial"
@@ -328,12 +331,15 @@ func (e *Engine) invariant(inst *spatial.Instance) (inv *invariant.Invariant, hi
 		sh.hits++
 		inv := el.Value.(*entry).inv
 		sh.mu.Unlock()
+		mInvHits.Inc()
 		return inv, true, nil
 	}
 	if c, ok := sh.inflight[key]; ok {
 		sh.dedups++
 		sh.misses++
 		sh.mu.Unlock()
+		mInvDedups.Inc()
+		mInvMisses.Inc()
 		<-c.done
 		return c.inv, false, c.err
 	}
@@ -341,6 +347,7 @@ func (e *Engine) invariant(inst *spatial.Instance) (inv *invariant.Invariant, hi
 	sh.inflight[key] = c
 	sh.misses++
 	sh.mu.Unlock()
+	mInvMisses.Inc()
 
 	// The inflight entry must be cleared and done closed even if Compute
 	// panics (the geometry layer has panic sites); otherwise every later
@@ -375,6 +382,7 @@ func (e *Engine) load(key string, inst *spatial.Instance) (*invariant.Invariant,
 	if e.store != nil {
 		if data, ok, err := e.store.Get(key); err != nil {
 			e.storeErrors.Add(1)
+			mStoreErrs.Inc()
 			// The key may be present but unreadable; a plain Put would
 			// no-op and leave the bad record in place.
 			overwrite = true
@@ -382,14 +390,18 @@ func (e *Engine) load(key string, inst *spatial.Instance) (*invariant.Invariant,
 			inv, derr := codec.DecodeInvariant(data)
 			if derr == nil {
 				e.storeHits.Add(1)
+				mStoreHits.Inc()
 				return inv, nil
 			}
 			e.storeErrors.Add(1)
+			mStoreErrs.Inc()
 			overwrite = true
 		}
 	}
 	e.computes.Add(1)
+	start := time.Now()
 	inv, err := invariant.Compute(inst)
+	mInvariantBuild.ObserveDuration(time.Since(start))
 	if err != nil {
 		return nil, err
 	}
@@ -400,10 +412,13 @@ func (e *Engine) load(key string, inst *spatial.Instance) (*invariant.Invariant,
 		}
 		if data, eerr := codec.EncodeInvariant(inv); eerr != nil {
 			e.storeErrors.Add(1)
+			mStoreErrs.Inc()
 		} else if perr := put(key, data); perr != nil {
 			e.storeErrors.Add(1)
+			mStoreErrs.Inc()
 		} else {
 			e.storePuts.Add(1)
+			mStorePuts.Inc()
 		}
 	}
 	return inv, nil
@@ -422,6 +437,7 @@ func (sh *cacheShard) insert(key string, inv *invariant.Invariant) {
 		sh.lru.Remove(tail)
 		delete(sh.cache, tail.Value.(*entry).key)
 		sh.evictions++
+		mInvEvictions.Inc()
 	}
 }
 
@@ -436,6 +452,14 @@ type Request struct {
 	// StrategySet marks Strategy as an explicit per-request override (the
 	// zero Strategy is core.Direct, so presence needs its own flag).
 	StrategySet bool
+	// Ctx optionally carries request-scoped observability state (the
+	// request id set by the HTTP front-end) into engine log lines.  It does
+	// not cancel evaluation; nil is fine.
+	Ctx context.Context
+	// Span optionally records per-stage timings (answer cache, invariant,
+	// open, eval) under the given parent.  A nil span is a no-op recorder:
+	// the disabled path costs one pointer test per stage.
+	Span *obs.Span
 }
 
 // effective resolves the request's strategy against the batch default.
@@ -487,6 +511,14 @@ func (e *Engine) Ask(inst *spatial.Instance, q pointfo.PointFormula, s core.Stra
 // AskResult is Ask returning the full Result (cache hit, latency).
 func (e *Engine) AskResult(inst *spatial.Instance, q pointfo.PointFormula, s core.Strategy) Result {
 	return e.run(Request{Instance: inst, Query: q}, 0, s)
+}
+
+// Do evaluates one fully specified Request (including its optional Ctx and
+// Span observability fields), using the request's strategy when set and def
+// otherwise.  It is AskResult for callers that need stage tracing or
+// request-id propagation.
+func (e *Engine) Do(req Request, def core.Strategy) Result {
+	return e.run(req, 0, req.effective(def))
 }
 
 // Batch evaluates many requests concurrently on the engine's worker pool and
@@ -558,11 +590,17 @@ func (e *Engine) BatchStream(reqs []Request, s core.Strategy) <-chan Result {
 func (e *Engine) run(req Request, index int, s core.Strategy) (res Result) {
 	start := time.Now()
 	res = Result{Index: index, Strategy: s}
+	mInflight.Add(1)
+	defer mInflight.Add(-1)
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("engine: query evaluation panicked: %v", r)
 			res.Latency = time.Since(start)
 			e.record(res.Strategy, res)
+			slog.Error("engine: query evaluation panicked",
+				"req_id", obs.RequestID(req.Ctx),
+				"strategy", res.Strategy.String(),
+				"panic", fmt.Sprint(r))
 		}
 	}()
 
@@ -578,7 +616,9 @@ func (e *Engine) run(req Request, index int, s core.Strategy) (res Result) {
 	var err error
 	if s == core.Auto {
 		e.autoQueries.Add(1)
+		sp := req.Span.Child("resolve")
 		inv, res.CacheHit, err = e.invariant(req.Instance)
+		sp.End()
 		if err == nil && translate.CanInvert(inv) {
 			res.Strategy = core.ViaInvariantFixpoint
 		} else {
@@ -592,32 +632,45 @@ func (e *Engine) run(req Request, index int, s core.Strategy) (res Result) {
 
 	akey := ""
 	if res.Canonical != "" && keyErr == nil {
+		sp := req.Span.Child("answer_cache")
 		akey = answerKey(instKey, res.Canonical, res.Strategy)
-		if ans, ok := e.answers.get(akey); ok {
+		ans, ok := e.answers.get(akey)
+		sp.End()
+		if ok {
 			e.answerHits.Add(1)
+			mAnswerHits.Inc()
 			res.Answer, res.AnswerHit = ans, true
 			res.Latency = time.Since(start)
 			e.record(res.Strategy, res)
 			return res
 		}
 		e.answerMisses.Add(1)
+		mAnswerMisses.Inc()
 	}
 
 	var db *core.Database
 	if err == nil {
 		if res.Strategy == core.Direct {
+			sp := req.Span.Child("open")
 			db, err = core.Open(req.Instance)
+			sp.End()
 		} else {
 			if inv == nil {
+				sp := req.Span.Child("invariant")
 				inv, res.CacheHit, err = e.invariant(req.Instance)
+				sp.End()
 			}
 			if err == nil {
+				sp := req.Span.Child("open")
 				db, err = core.OpenWith(req.Instance, inv)
+				sp.End()
 			}
 		}
 	}
 	if err == nil {
+		sp := req.Span.Child("eval")
 		res.Answer, err = db.Ask(req.Query, res.Strategy)
+		sp.End()
 		if err == nil && akey != "" {
 			e.answers.put(akey, res.Answer)
 		}
@@ -625,6 +678,14 @@ func (e *Engine) run(req Request, index int, s core.Strategy) (res Result) {
 	res.Err = err
 	res.Latency = time.Since(start)
 	e.record(res.Strategy, res)
+	if err != nil {
+		// Debug, not Warn: bad queries are a client matter, and under load a
+		// hostile batch would otherwise write one line per item.
+		slog.Debug("engine: query evaluation failed",
+			"req_id", obs.RequestID(req.Ctx),
+			"strategy", res.Strategy.String(),
+			"err", err)
+	}
 	return res
 }
 
@@ -638,6 +699,9 @@ func (e *Engine) record(s core.Strategy, res Result) {
 		c.errors.Add(1)
 	}
 	c.latencyNS.Add(res.Latency.Nanoseconds())
+	name := s.String()
+	mQueries.With(name, statusOutcome(res.Err)).Inc()
+	mQueryLatency.With(name).ObserveDuration(res.Latency)
 }
 
 // StrategyStats is the per-strategy counter snapshot.

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"repro/internal/obs"
+)
+
+// Process-wide engine metrics, registered against the obs default registry
+// and served at GET /metrics.  They are deliberately global (one process,
+// one exposition) and monotonic; per-engine figures stay in Stats.  The
+// per-shard counters under the cache mutexes remain the source of truth for
+// Stats — these mirror them at the same increment sites so the exposition
+// needs no lock sweep over the shards.
+var (
+	mQueryLatency = obs.Default.HistogramVec(
+		"topoinv_engine_query_duration_seconds",
+		"Query evaluation latency by resolved strategy.",
+		obs.DefLatencyBuckets, "strategy")
+	mQueries = obs.Default.CounterVec(
+		"topoinv_engine_queries_total",
+		"Queries evaluated, by resolved strategy and outcome (ok | error).",
+		"strategy", "outcome")
+	mInflight = obs.Default.Gauge(
+		"topoinv_engine_inflight_queries",
+		"Queries currently being evaluated.")
+
+	mAnswerHits = obs.Default.Counter(
+		"topoinv_engine_answer_cache_hits_total",
+		"Answer-cache lookups served without evaluation.")
+	mAnswerMisses = obs.Default.Counter(
+		"topoinv_engine_answer_cache_misses_total",
+		"Answer-cache lookups that fell through to evaluation.")
+
+	mInvHits = obs.Default.Counter(
+		"topoinv_engine_invariant_cache_hits_total",
+		"Invariant memory-cache hits.")
+	mInvMisses = obs.Default.Counter(
+		"topoinv_engine_invariant_cache_misses_total",
+		"Invariant memory-cache misses (dedups, store hits and computes).")
+	mInvDedups = obs.Default.Counter(
+		"topoinv_engine_singleflight_dedups_total",
+		"Invariant computations deduplicated onto another goroutine's in-flight build.")
+	mInvEvictions = obs.Default.Counter(
+		"topoinv_engine_invariant_cache_evictions_total",
+		"Invariants evicted from the LRU memory cache.")
+	mInvariantBuild = obs.Default.Histogram(
+		"topoinv_engine_invariant_build_seconds",
+		"Wall-clock latency of invariant.Compute runs (cold path).",
+		obs.DefLatencyBuckets)
+
+	mStoreHits = obs.Default.Counter(
+		"topoinv_engine_store_hits_total",
+		"Invariant fetches served from the disk store.")
+	mStorePuts = obs.Default.Counter(
+		"topoinv_engine_store_puts_total",
+		"Freshly computed invariants persisted to the disk store.")
+	mStoreErrs = obs.Default.Counter(
+		"topoinv_engine_store_errors_total",
+		"Disk-store read/decode/write failures absorbed by recomputation.")
+)
+
+func init() {
+	// Cache effectiveness as ready-made ratios, so a dashboard needs no
+	// rate() arithmetic to spot a cache that stopped earning its keep.
+	obs.Default.GaugeFunc(
+		"topoinv_engine_answer_cache_hit_ratio",
+		"Lifetime answer-cache hit ratio (hits / lookups).",
+		func() float64 { return ratio(mAnswerHits.Value(), mAnswerMisses.Value()) })
+	obs.Default.GaugeFunc(
+		"topoinv_engine_invariant_cache_hit_ratio",
+		"Lifetime invariant memory-cache hit ratio (hits / lookups).",
+		func() float64 { return ratio(mInvHits.Value(), mInvMisses.Value()) })
+}
+
+func ratio(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+func statusOutcome(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}

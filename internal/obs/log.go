@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w in the given format ("text" or
+// "json") at the given minimum level.  Unknown formats fall back to text.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if strings.EqualFold(format, "json") {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// ParseLevel maps a level name (debug | info | warn | error, case-insensitive)
+// to its slog level.
+func ParseLevel(name string) (slog.Level, error) {
+	switch strings.ToLower(name) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug | info | warn | error)", name)
+}
+
+// NewRequestID returns a fresh 8-byte random hex request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type requestIDKey struct{}
+
+// WithRequestID attaches a request id to a context; HTTP middleware sets it
+// and every log line along the request path carries it as req_id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request id attached to the context, or "".  A nil
+// context is fine (engine requests built outside a server have none).
+func RequestID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span records one timed stage of a request, with nested children — a
+// process-local, allocation-light stand-in for a tracing client.  The nil
+// *Span is a fully functional no-op recorder: every method is nil-safe, so
+// instrumented code paths pay a single pointer test when tracing is off.
+// This is the guarantee the engine's disabled-recorder benchmark pins.
+//
+// A span is started by StartSpan (or Child), finished by End, and rendered
+// either as a JSON-friendly StageTiming tree (the ask/batch "timings"
+// response field) or as a compact one-line string (slow-request logs).
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+// StartSpan starts a root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a nested span.  On a nil receiver it returns nil, keeping the
+// whole subtree a no-op.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End records the span's duration.  Repeated calls keep the first duration;
+// End on a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the recorded duration (time since start for a span that
+// has not ended); 0 on a nil span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// StageTiming is the JSON form of a span tree, attached to ask/batch
+// responses behind the timings debug flag.
+type StageTiming struct {
+	Stage      string        `json:"stage"`
+	DurationNS int64         `json:"duration_ns"`
+	Children   []StageTiming `json:"children,omitempty"`
+}
+
+// Timings renders the span tree; nil on a nil span.
+func (s *Span) Timings() *StageTiming {
+	if s == nil {
+		return nil
+	}
+	t := s.timing()
+	return &t
+}
+
+func (s *Span) timing() StageTiming {
+	d := s.Duration()
+	s.mu.Lock()
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	name := s.name
+	s.mu.Unlock()
+	t := StageTiming{Stage: name, DurationNS: d.Nanoseconds()}
+	for _, c := range kids {
+		t.Children = append(t.Children, c.timing())
+	}
+	return t
+}
+
+// String renders the tree on one line, e.g.
+// "ask 1.2ms [answer_cache 3µs, invariant 1.1ms [compute 1ms], eval 80µs]" —
+// the form slow-request logs carry.
+func (s *Span) String() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.writeTo(&b)
+	return b.String()
+}
+
+func (s *Span) writeTo(b *strings.Builder) {
+	d := s.Duration()
+	s.mu.Lock()
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	name := s.name
+	s.mu.Unlock()
+	fmt.Fprintf(b, "%s %s", name, d.Round(time.Microsecond))
+	if len(kids) > 0 {
+		b.WriteString(" [")
+		for i, c := range kids {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			c.writeTo(b)
+		}
+		b.WriteString("]")
+	}
+}
+
+type spanCtxKey struct{}
+
+// WithSpan attaches a span to a context.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom returns the span attached to the context, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilSpanIsNoOp pins the disabled-recorder contract: every method on a
+// nil *Span (and on children derived from it) must be safe and free of side
+// effects — the engine's hot path relies on it.
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	c := s.Child("stage")
+	if c != nil {
+		t.Fatal("nil span produced a non-nil child")
+	}
+	c.End()
+	s.End()
+	if s.Duration() != 0 {
+		t.Fatal("nil span has a duration")
+	}
+	if s.Timings() != nil {
+		t.Fatal("nil span has timings")
+	}
+	if s.String() != "" {
+		t.Fatal("nil span renders text")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("ask")
+	inv := root.Child("invariant")
+	time.Sleep(time.Millisecond)
+	compute := inv.Child("compute")
+	compute.End()
+	inv.End()
+	eval := root.Child("eval")
+	eval.End()
+	root.End()
+
+	tt := root.Timings()
+	if tt == nil || tt.Stage != "ask" {
+		t.Fatalf("timings root = %+v, want stage ask", tt)
+	}
+	if len(tt.Children) != 2 || tt.Children[0].Stage != "invariant" || tt.Children[1].Stage != "eval" {
+		t.Fatalf("children = %+v, want [invariant eval]", tt.Children)
+	}
+	if len(tt.Children[0].Children) != 1 || tt.Children[0].Children[0].Stage != "compute" {
+		t.Fatalf("nested children = %+v, want [compute]", tt.Children[0].Children)
+	}
+	if tt.DurationNS <= 0 || tt.Children[0].DurationNS <= 0 {
+		t.Fatalf("durations not recorded: %+v", tt)
+	}
+	if tt.DurationNS < tt.Children[0].DurationNS {
+		t.Fatalf("root (%d ns) shorter than its child (%d ns)", tt.DurationNS, tt.Children[0].DurationNS)
+	}
+
+	str := root.String()
+	for _, want := range []string{"ask ", "invariant ", "[compute ", "eval "} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q, missing %q", str, want)
+		}
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	s := StartSpan("x")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if got := s.Duration(); got != d {
+		t.Fatalf("second End changed duration: %v -> %v", d, got)
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	if SpanFrom(context.Background()) != nil {
+		t.Fatal("empty context carries a span")
+	}
+	s := StartSpan("x")
+	ctx := WithSpan(context.Background(), s)
+	if SpanFrom(ctx) != s {
+		t.Fatal("span not round-tripped through context")
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	if RequestID(context.Background()) != "" {
+		t.Fatal("empty context carries a request id")
+	}
+	id := NewRequestID()
+	if len(id) != 16 {
+		t.Fatalf("request id %q, want 16 hex chars", id)
+	}
+	ctx := WithRequestID(context.Background(), id)
+	if got := RequestID(ctx); got != id {
+		t.Fatalf("RequestID = %q, want %q", got, id)
+	}
+	if id2 := NewRequestID(); id2 == id {
+		t.Fatalf("two request ids collided: %q", id)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for name, want := range map[string]string{"debug": "DEBUG", "": "INFO", "info": "INFO", "WARN": "WARN", "error": "ERROR"} {
+		lvl, err := ParseLevel(name)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", name, err)
+		}
+		if lvl.String() != want {
+			t.Fatalf("ParseLevel(%q) = %v, want %v", name, lvl, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted an unknown level")
+	}
+}

@@ -1,0 +1,38 @@
+package store
+
+import (
+	"repro/internal/obs"
+)
+
+// Process-wide store metrics (obs default registry, served at GET /metrics).
+// The footprint gauges aggregate over every open store in the process: Open
+// adds a store's on-disk totals, Close subtracts them, and the write path
+// maintains the deltas in between — so the gauges track live bytes without
+// a lock sweep at exposition time.
+var (
+	mOpLatency = obs.Default.HistogramVec(
+		"topoinv_store_op_duration_seconds",
+		"Store operation latency by op (get | put | replace).",
+		obs.DefLatencyBuckets, "op")
+	mBytesRead = obs.Default.Counter(
+		"topoinv_store_bytes_read_total",
+		"Blob bytes read from shard logs.")
+	mBytesWritten = obs.Default.Counter(
+		"topoinv_store_bytes_written_total",
+		"Record bytes appended to shard logs.")
+	mFsyncs = obs.Default.Counter(
+		"topoinv_store_fsyncs_total",
+		"fsync calls issued (per-put when WithFsync, plus manifest writes).")
+	mFootKeys = obs.Default.Gauge(
+		"topoinv_store_keys",
+		"Live keys across every open store in this process.")
+	mFootBytes = obs.Default.Gauge(
+		"topoinv_store_shard_bytes",
+		"Shard-log bytes across every open store in this process.")
+)
+
+// addFootprint shifts the process-wide footprint gauges by the given deltas.
+func addFootprint(keys, bytes int64) {
+	mFootKeys.Add(keys)
+	mFootBytes.Add(bytes)
+}

@@ -42,6 +42,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ManifestVersion is the store's on-disk format version.
@@ -208,6 +209,12 @@ func Open(dir string, opts ...Option) (*Store, error) {
 			return nil, err
 		}
 	}
+	keys, bytes := int64(0), int64(0)
+	for _, sh := range s.shards {
+		keys += int64(len(sh.index))
+		bytes += sh.size
+	}
+	addFootprint(keys, bytes)
 	ok = true
 	return s, nil
 }
@@ -246,6 +253,8 @@ func (s *Store) shardFor(key string) (*shard, error) {
 
 // Get returns the blob stored under key; ok is false when the key is absent.
 func (s *Store) Get(key string) ([]byte, bool, error) {
+	start := time.Now()
+	defer func() { mOpLatency.With("get").ObserveDuration(time.Since(start)) }()
 	sh, err := s.shardFor(key)
 	if err != nil {
 		return nil, false, err
@@ -260,6 +269,7 @@ func (s *Store) Get(key string) ([]byte, bool, error) {
 	if _, err := sh.f.ReadAt(val, loc.valOff); err != nil {
 		return nil, false, fmt.Errorf("store: read %s: %w", key, err)
 	}
+	mBytesRead.Add(uint64(loc.valLen))
 	return val, true, nil
 }
 
@@ -291,6 +301,12 @@ func (s *Store) Replace(key string, val []byte) error {
 }
 
 func (s *Store) put(key string, val []byte, replace bool) error {
+	start := time.Now()
+	op := "put"
+	if replace {
+		op = "replace"
+	}
+	defer func() { mOpLatency.With(op).ObserveDuration(time.Since(start)) }()
 	sh, err := s.shardFor(key)
 	if err != nil {
 		return err
@@ -301,7 +317,8 @@ func (s *Store) put(key string, val []byte, replace bool) error {
 	if sh.appendErr != nil {
 		return fmt.Errorf("store: shard write path poisoned: %w", sh.appendErr)
 	}
-	if _, ok := sh.index[key]; ok && !replace {
+	_, present := sh.index[key]
+	if present && !replace {
 		return nil
 	}
 	if _, err := sh.f.Write(rec); err != nil {
@@ -320,12 +337,19 @@ func (s *Store) put(key string, val []byte, replace bool) error {
 			}
 			return fmt.Errorf("store: fsync: %w", err)
 		}
+		mFsyncs.Inc()
 	}
 	valLen := len(val)
 	sh.index[key] = recordLoc{valOff: sh.size + int64(len(rec)-valLen), valLen: valLen}
 	sh.size += int64(len(rec))
 	sh.crc = crc32.Update(sh.crc, crcTable, rec)
 	sh.records++
+	mBytesWritten.Add(uint64(len(rec)))
+	newKeys := int64(0)
+	if !present {
+		newKeys = 1
+	}
+	addFootprint(newKeys, int64(len(rec)))
 	return nil
 }
 
@@ -426,13 +450,18 @@ func (s *Store) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	err := s.Sync()
+	keys, bytes := int64(0), int64(0)
 	for _, sh := range s.shards {
 		sh.mu.Lock()
+		keys += int64(len(sh.index))
+		bytes += sh.size
 		if cerr := sh.f.Close(); cerr != nil && err == nil {
 			err = fmt.Errorf("store: close: %w", cerr)
 		}
 		sh.mu.Unlock()
 	}
+	// This store's share of the process-wide footprint gauges leaves with it.
+	addFootprint(-keys, -bytes)
 	releaseDirLock(s.lock)
 	return err
 }
@@ -471,6 +500,7 @@ func (s *Store) writeManifestLocked(skip map[string]bool) error {
 			sh.mu.Unlock()
 			return fmt.Errorf("store: sync shard %s: %w", prefix, err)
 		}
+		mFsyncs.Inc()
 		if sh.size > 0 || sh.records > 0 {
 			man.Shards[prefix] = shardMeta{Size: sh.size, CRC: sh.crc, Records: sh.records, Live: len(sh.index)}
 		}
@@ -682,6 +712,8 @@ func (sh *shard) compact() error {
 	}
 	sh.f.Close()
 	sh.f = f
+	// Live keys are unchanged by compaction; only the log shrinks.
+	addFootprint(0, size-sh.size)
 	sh.index = newIndex
 	sh.size = size
 	sh.crc = crc

@@ -1,0 +1,25 @@
+package sweep
+
+import (
+	"repro/internal/obs"
+)
+
+// Process-wide sweep metrics (obs default registry, served at GET /metrics).
+// One Run is one Bentley–Ottmann pass — import validation, ring-simplicity
+// checks and (eventually) sweep-built arrangement construction all land
+// here, so the counters read as "geometry events this process has swept".
+var (
+	mRunLatency = obs.Default.Histogram(
+		"topoinv_sweep_run_seconds",
+		"Wall-clock latency of one plane-sweep pass.",
+		obs.DefLatencyBuckets)
+	mSegments = obs.Default.Counter(
+		"topoinv_sweep_segments_total",
+		"Input segments swept.")
+	mEvents = obs.Default.Counter(
+		"topoinv_sweep_events_total",
+		"Event points processed (endpoints plus scheduled crossings).")
+	mIntersections = obs.Default.Counter(
+		"topoinv_sweep_intersections_total",
+		"Intersecting pairs reported to sweep clients.")
+)

@@ -42,6 +42,7 @@ package sweep
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/rat"
@@ -62,7 +63,13 @@ type Pair struct {
 // the sweep immediately; this is the "report first crossing" mode used by
 // the validation clients.  Zero-length segments are ignored.
 func Run(segs []geom.Segment, visit func(Pair) bool) {
-	newSweeper(segs, visit).run()
+	start := time.Now()
+	sw := newSweeper(segs, visit)
+	sw.run()
+	mRunLatency.ObserveDuration(time.Since(start))
+	mSegments.Add(uint64(len(segs)))
+	mEvents.Add(sw.eventsProcessed)
+	mIntersections.Add(sw.pairsReported)
 }
 
 // Intersections returns every intersecting pair ("report all" mode).
@@ -107,6 +114,11 @@ type sweeper struct {
 	// status segments strictly below the point at the moment the sweep
 	// reaches it (before any mutation there).
 	queries map[string][]*int
+
+	// eventsProcessed / pairsReported feed the process-wide sweep metrics
+	// once per run (plain fields here: a sweep is single-goroutine).
+	eventsProcessed uint64
+	pairsReported   uint64
 }
 
 func newSweeper(segs []geom.Segment, visit func(Pair) bool) *sweeper {
@@ -156,6 +168,7 @@ func (sw *sweeper) run() {
 		if !ok {
 			return
 		}
+		sw.eventsProcessed++
 		sw.x = p.X
 		key := p.Key()
 
@@ -302,6 +315,7 @@ func (sw *sweeper) report(i, j int) {
 		return
 	}
 	sw.reported[k] = true
+	sw.pairsReported++
 	if !sw.visit(Pair{I: i, J: j, X: inter}) {
 		sw.stopped = true
 	}

@@ -1,0 +1,77 @@
+package topoinv
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Observability surface: the dependency-free metrics/tracing/logging toolkit
+// every layer of the library reports into (package obs).  The engine, store,
+// sweep and arrangement packages register their instruments on the shared
+// default registry at init; Metrics exposes that registry so front ends (the
+// HTTP server, the load generator) can add their own instruments and render
+// everything together.
+type (
+	// Span is a process-local stage recorder with nested children.  The nil
+	// *Span is a fully functional no-op: instrumented paths pay one pointer
+	// test when tracing is off.
+	Span = obs.Span
+	// StageTiming is the JSON rendering of a span tree (the "timings" field
+	// of ask/batch responses behind ?debug=timings).
+	StageTiming = obs.StageTiming
+	// MetricsRegistry is a set of named instruments renderable as Prometheus
+	// text or a JSON snapshot.
+	MetricsRegistry = obs.Registry
+	// MetricsHistogram is a fixed-bucket latency/size histogram with
+	// lock-free observation and quantile estimation.
+	MetricsHistogram = obs.Histogram
+)
+
+// Metrics is the process-wide default registry, rendered at GET /metrics and
+// embedded in /v1/stats.
+var Metrics = obs.Default
+
+var (
+	// StartSpan starts a root timing span.
+	StartSpan = obs.StartSpan
+	// NewLogger builds a text or JSON slog.Logger at a minimum level.
+	NewLogger = obs.NewLogger
+	// ParseLogLevel maps debug | info | warn | error to a slog.Level.
+	ParseLogLevel = obs.ParseLevel
+	// NewRequestID returns a fresh random request id.
+	NewRequestID = obs.NewRequestID
+	// WithRequestID attaches a request id to a context; the engine's log
+	// lines carry it as req_id.
+	WithRequestID = obs.WithRequestID
+	// RequestIDFrom extracts the request id from a context ("" if absent).
+	RequestIDFrom = obs.RequestID
+	// NewHistogram builds a standalone histogram (not registered anywhere) —
+	// the load generator aggregates client-side latencies with one.
+	NewHistogram = obs.NewHistogram
+)
+
+// Default histogram bucket layouts.
+var (
+	// LatencyBuckets spans 1µs–10s, the default for duration histograms.
+	LatencyBuckets = obs.DefLatencyBuckets
+	// SizeBuckets spans 64B–64MB, the default for payload-size histograms.
+	SizeBuckets = obs.DefSizeBuckets
+)
+
+// WriteMetrics renders every instrument of the default registry in the
+// Prometheus text exposition format.
+func WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
+// MetricsSnapshot returns the default registry as a JSON-friendly map
+// (histograms carry count, sum and p50/p90/p99).
+func MetricsSnapshot() map[string]any { return obs.Default.Snapshot() }
+
+// SpanFromContext returns the span attached to a context, or nil.
+func SpanFromContext(ctx context.Context) *Span { return obs.SpanFrom(ctx) }
+
+// ContextWithSpan attaches a span to a context.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return obs.WithSpan(ctx, s)
+}
