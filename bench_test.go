@@ -332,14 +332,15 @@ func BenchmarkCodec(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationRatVsFloat compares the exact-rational arrangement against
-// the naive candidate-pair ablation (design-choice ablations of DESIGN.md).
+// BenchmarkAblationIntersection compares the default sweep-built arrangement
+// against the quadratic all-pairs point-location reference (design-choice
+// ablations of DESIGN.md).
 func BenchmarkAblationIntersection(b *testing.B) {
 	inst, err := topoinv.LandUse(topoinv.DefaultLandUse(1))
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Run("grid-pairs", func(b *testing.B) {
+	b.Run("sweep", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := arrangement.Build(inst); err != nil {
 				b.Fatal(err)

@@ -11,14 +11,17 @@
 //
 // The construction pipeline is:
 //
-//  1. subdivision — split all boundary segments at their mutual
-//     intersections and at isolated region points, producing elementary
-//     sub-segments meeting only at endpoints (subdivide.go);
+//  1. subdivision — one exact Bentley–Ottmann sweep (internal/sweep) splits
+//     all boundary segments at their mutual intersections and at isolated
+//     region points (ridden through the sweep as probe events), producing
+//     elementary sub-segments meeting only at endpoints and recording the
+//     sweep's status order at every event point (subdivide.go);
 //  2. face tracing — build the rotation system and trace face boundary
 //     cycles, assigning hole cycles and isolated vertices to their
-//     containing faces (faces.go);
+//     containing faces directly from the recorded sweep order (faces.go);
 //  3. classification — compute the sign class of every cell with respect to
-//     every region (classify.go);
+//     every region combinatorially, by propagating ring-crossing parities
+//     over the face dual graph (classify.go);
 //  4. reduction — remove topologically insignificant degree-2 vertices,
 //     merging their incident edges, to obtain the maximum topological cell
 //     decomposition (reduce.go).
@@ -264,8 +267,10 @@ type config struct {
 	naivePairs bool
 }
 
-// WithNaivePairFinding forces the all-pairs candidate search instead of the
-// grid index (used for ablation benchmarks and cross-checking).
+// WithNaivePairFinding selects the quadratic all-pairs reference pipeline —
+// exact bounding-box candidate search, post-hoc point-on-segment scans and
+// point-location classification — instead of the sweep.  It exists solely
+// for ablation benchmarks and differential testing against the sweep path.
 func WithNaivePairFinding() Option {
 	return func(c *config) { c.naivePairs = true }
 }

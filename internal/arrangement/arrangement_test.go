@@ -438,7 +438,7 @@ func TestSharedBoundarySegmentTwoRegions(t *testing.T) {
 	}
 }
 
-func TestNaiveAndGridPairFindingAgree(t *testing.T) {
+func TestSweepAndNaivePairFindingAgree(t *testing.T) {
 	regs := map[string]region.Region{
 		"P": region.Rect(0, 0, 8, 8),
 		"Q": region.Rect(4, 4, 12, 12),
@@ -448,7 +448,7 @@ func TestNaiveAndGridPairFindingAgree(t *testing.T) {
 	a := buildMany(t, regs)
 	b := buildMany(t, regs, WithNaivePairFinding())
 	if len(a.Vertices) != len(b.Vertices) || len(a.Edges) != len(b.Edges) || len(a.Faces) != len(b.Faces) {
-		t.Errorf("grid vs naive mismatch: V=%d/%d E=%d/%d F=%d/%d",
+		t.Errorf("sweep vs naive mismatch: V=%d/%d E=%d/%d F=%d/%d",
 			len(a.Vertices), len(b.Vertices), len(a.Edges), len(b.Edges), len(a.Faces), len(b.Faces))
 	}
 }
@@ -553,15 +553,6 @@ func TestEulerFormulaPerComponentInstance(t *testing.T) {
 	if v-e+f != 2 {
 		t.Errorf("Euler characteristic V-E+F = %d, want 2", v-e+f)
 	}
-}
-
-func containsInt(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
 }
 
 func geomRat(n int64) (r ratAlias) { return ratOf(n) }

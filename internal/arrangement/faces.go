@@ -34,6 +34,12 @@ type fullComplex struct {
 	// vertexFace[v] is, for isolated vertices, the face containing them.
 	vertexFace map[int]int
 
+	// Sweep-order location state (only on the sweep path): non-isolated
+	// vertices per x column in ascending y, and the resolved face of every
+	// cycle.
+	cols      map[string][]int
+	cycleFace []int
+
 	// Sign classes (filled by classify).
 	vertexSign []map[string]Sign
 	segSign    []map[string]Sign // per sub-segment
@@ -165,8 +171,16 @@ func traceFaces(sub *subdivision) (*fullComplex, error) {
 		fc.cycles = append(fc.cycles, c)
 	}
 
-	// Compute a representative interior point for each cycle's face side.
+	// Compute a representative interior point for each cycle's face side.  On
+	// the sweep path, hole cycles are assigned from the sweep order, so only
+	// the positive cycles (which become face representatives) need the
+	// ray-shooting rep; the naive reference path needs one per cycle for the
+	// crossing-parity relocation.
+	sweepOrder := sub.below != nil
 	for _, c := range fc.cycles {
+		if sweepOrder && c.area2.Sign() <= 0 {
+			continue
+		}
 		c.rep, c.repOK = fc.cycleRep(c)
 	}
 
@@ -183,14 +197,19 @@ func traceFaces(sub *subdivision) (*fullComplex, error) {
 	fc.exteriorFace = ext.id
 	ext.rep = fc.exteriorRep()
 
-	// Assign hole-like cycles (area <= 0) to their containing face.
-	for _, c := range fc.cycles {
-		if c.area2.Sign() > 0 {
-			continue
+	if sweepOrder {
+		fc.assignBySweepOrder()
+	} else {
+		// Assign hole-like cycles (area <= 0) to their containing face by
+		// crossing-parity relocation of a representative point.
+		for _, c := range fc.cycles {
+			if c.area2.Sign() > 0 {
+				continue
+			}
+			f := fc.containingFace(c.rep, c.repOK)
+			c.face = f
+			fc.faces[f].cycles = append(fc.faces[f].cycles, c.id)
 		}
-		f := fc.containingFace(c.rep, c.repOK)
-		c.face = f
-		fc.faces[f].cycles = append(fc.faces[f].cycles, c.id)
 	}
 
 	// Record the face of every half-edge.
@@ -205,12 +224,168 @@ func traceFaces(sub *subdivision) (*fullComplex, error) {
 			continue
 		}
 		fc.isolatedVerts = append(fc.isolatedVerts, v)
-		f := fc.containingFace(sub.points[v], true)
+		var f int
+		if sweepOrder {
+			f = fc.resolveBelow(sub.points[v])
+		} else {
+			f = fc.containingFace(sub.points[v], true)
+		}
 		fc.vertexFace[v] = f
 		fc.faces[f].isolated = append(fc.faces[f].isolated, v)
 	}
 	sort.Ints(fc.isolatedVerts)
 	return fc, nil
+}
+
+// --- sweep-order location ---------------------------------------------------
+//
+// On the sweep path, hole cycles and isolated vertices are located from the
+// sweep's status order instead of by crossing-parity relocation of a
+// representative point.  For an event point p, sub.below[p.Key()] names the
+// non-vertical input segment whose supporting line passed strictly below p
+// when the sweep reached it.  The obstruction directly below p is either a
+// point strictly inside a sub-segment of that segment, or a subdivision
+// vertex in p's own x column — the column covers what the status cannot see:
+// vertical segments (never in the status) and segments removed at an earlier
+// event with the same x.  Whichever candidate is higher is the true blocker,
+// and the face immediately below p is the face above it.
+
+// buildColumns indexes the non-isolated vertices by x coordinate, each
+// column sorted by ascending y.
+func (fc *fullComplex) buildColumns() {
+	fc.cols = make(map[string][]int)
+	for v := range fc.vertexOut {
+		if len(fc.vertexOut[v]) == 0 {
+			continue
+		}
+		k := fc.sub.points[v].X.Key()
+		fc.cols[k] = append(fc.cols[k], v)
+	}
+	for _, col := range fc.cols {
+		sort.Slice(col, func(i, j int) bool {
+			return fc.sub.points[col[i]].Y.Less(fc.sub.points[col[j]].Y)
+		})
+	}
+}
+
+// blockerCycle returns the id of the cycle bounding the face directly below
+// p, or -1 when a downward ray from p escapes to infinity.  p must be an
+// event point of the sweep not lying on any sub-segment interior above the
+// blocker (hole-cycle lex-min vertices and isolated vertices qualify).
+func (fc *fullComplex) blockerCycle(p geom.Point) int {
+	sub := fc.sub
+	bs := -1
+	if b, ok := sub.below[p.Key()]; ok {
+		bs = b
+	}
+	// Highest non-isolated vertex strictly below p in p's column.
+	w := -1
+	if col, ok := fc.cols[p.X.Key()]; ok {
+		i := sort.Search(len(col), func(i int) bool {
+			return !sub.points[col[i]].Y.Less(p.Y)
+		}) - 1
+		if i >= 0 {
+			w = col[i]
+		}
+	}
+	switch {
+	case bs < 0 && w < 0:
+		return -1
+	case bs >= 0 && (w < 0 || sub.points[w].Y.Less(sub.inputSegs[bs].YAt(p.X))):
+		// The blocker lies strictly inside a sub-segment of bs, whose even
+		// half-edge runs left to right; the face above is on its left.
+		return fc.heCycle[2*sub.subSegAt(bs, p)]
+	default:
+		// The blocker is vertex w.  w has no upward edge (its target would
+		// be a column vertex contradicting w's maximality, or a vertex in
+		// the edge's interior), so the upward direction lies strictly inside
+		// one of w's angular sectors.
+		return fc.sectorCycle(w, geom.Pt(0, 1))
+	}
+}
+
+// sectorCycle returns the cycle owning the angular sector at vertex v that
+// contains direction d.  d must not be parallel to an incident edge.  The
+// sector swept counterclockwise from an outgoing half-edge to its CCW
+// successor belongs to the face left of that half-edge, so the owner is the
+// CCW predecessor of d among the outgoing directions (wrapping around).
+func (fc *fullComplex) sectorCycle(v int, d geom.Point) int {
+	out := fc.vertexOut[v]
+	origin := fc.sub.points[v]
+	best := -1
+	for _, h := range out {
+		if directionLess(fc.sub.points[fc.heTarget[h]].Sub(origin), d) {
+			best = h
+		} else {
+			break
+		}
+	}
+	if best < 0 {
+		best = out[len(out)-1]
+	}
+	return fc.heCycle[best]
+}
+
+// lexMinVertex returns the lexicographically smallest origin vertex on the
+// cycle.
+func (fc *fullComplex) lexMinVertex(c *cycleInfo) int {
+	best := fc.heOrigin[c.halfEdges[0]]
+	for _, h := range c.halfEdges[1:] {
+		v := fc.heOrigin[h]
+		if geom.CmpXY(fc.sub.points[v], fc.sub.points[best]) < 0 {
+			best = v
+		}
+	}
+	return best
+}
+
+// assignBySweepOrder assigns every hole-like cycle (area <= 0: the clockwise
+// outer walk of a connected component) to its containing face from the sweep
+// order.  Each such cycle is linked to the cycle directly below its lex-min
+// vertex; since a blocker is always lexicographically smaller than the point
+// it blocks, the links are acyclic and resolve to a positive cycle's face or
+// to the exterior.
+func (fc *fullComplex) assignBySweepOrder() {
+	fc.buildColumns()
+	links := make([]int, len(fc.cycles))
+	fc.cycleFace = make([]int, len(fc.cycles))
+	for _, c := range fc.cycles {
+		links[c.id] = -1
+		fc.cycleFace[c.id] = -1
+		if c.area2.Sign() > 0 {
+			fc.cycleFace[c.id] = c.face
+			continue
+		}
+		links[c.id] = fc.blockerCycle(fc.sub.points[fc.lexMinVertex(c)])
+	}
+	var resolve func(cid int) int
+	resolve = func(cid int) int {
+		if cid < 0 {
+			return fc.exteriorFace
+		}
+		if fc.cycleFace[cid] < 0 {
+			fc.cycleFace[cid] = resolve(links[cid])
+		}
+		return fc.cycleFace[cid]
+	}
+	for _, c := range fc.cycles {
+		if c.area2.Sign() > 0 {
+			continue
+		}
+		f := resolve(c.id)
+		c.face = f
+		fc.faces[f].cycles = append(fc.faces[f].cycles, c.id)
+	}
+}
+
+// resolveBelow returns the face containing the isolated vertex at p.  It
+// must run after assignBySweepOrder, which resolves every cycle's face.
+func (fc *fullComplex) resolveBelow(p geom.Point) int {
+	cid := fc.blockerCycle(p)
+	if cid < 0 {
+		return fc.exteriorFace
+	}
+	return fc.cycleFace[cid]
 }
 
 // cycleArea2 returns twice the signed area of the closed polygonal curve

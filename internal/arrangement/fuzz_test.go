@@ -1,0 +1,299 @@
+package arrangement
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/region"
+	"repro/internal/spatial"
+	"repro/internal/workload"
+)
+
+// FuzzSweepSubdivisionVsNaive is the end-to-end differential harness for the
+// sweep-built arrangement: every fuzz input decodes into a small
+// multi-feature instance that is built twice — once on the default sweep
+// pipeline (exact Bentley–Ottmann subdivision, sweep-order face location,
+// combinatorial classification) and once on the quadratic all-pairs
+// point-location reference — and the two complexes must agree cell for cell:
+// same vertex set with the same sign classes, the same edge multiset and the
+// same face sign multiset.
+//
+// Inputs decode as a stream of feature records on a small integer grid
+// (rects, triangles and general rings, short polylines, isolated points,
+// dealt round-robin to three regions); small coordinates maximise the
+// degeneracy rate — shared borders, collinear overlaps, vertical stacks,
+// crossings through vertices — which is exactly where the two pipelines
+// could drift apart.
+
+const fuzzRegionCount = 3
+
+var fuzzRegionNames = []string{"P", "Q", "R"}
+
+func fzCoord(b byte) int64 { return int64(int8(b)) % 16 }
+
+// decodeInstance turns fuzz bytes into a validated spatial instance, or
+// ok=false when the bytes do not form one (invalid features, no features).
+func decodeInstance(data []byte) (*spatial.Instance, bool) {
+	const maxFeatures = 24
+	feats := make(map[string][]region.Feature)
+	i, n := 0, 0
+decode:
+	for i < len(data) && n < maxFeatures {
+		kind := data[i] % 4
+		i++
+		name := fuzzRegionNames[n%fuzzRegionCount]
+		n++
+		switch kind {
+		case 0: // axis-aligned rectangle
+			if i+4 > len(data) {
+				break decode
+			}
+			x0, y0 := fzCoord(data[i]), fzCoord(data[i+1])
+			w, h := int64(data[i+2]%8)+1, int64(data[i+3]%8)+1
+			i += 4
+			feats[name] = append(feats[name], region.AreaFeature(geom.Rect(x0, y0, x0+w, y0+h)))
+		case 1: // short polyline
+			if i+1 > len(data) {
+				break decode
+			}
+			np := int(data[i]%3) + 2
+			i++
+			var pts []geom.Point
+			for k := 0; k < np; k++ {
+				if i+2 > len(data) {
+					break decode
+				}
+				pts = append(pts, geom.Pt(fzCoord(data[i]), fzCoord(data[i+1])))
+				i += 2
+			}
+			pl, err := geom.NewPolyline(pts)
+			if err != nil {
+				continue
+			}
+			feats[name] = append(feats[name], region.LineFeature(pl))
+		case 2: // isolated point
+			if i+2 > len(data) {
+				break decode
+			}
+			feats[name] = append(feats[name], region.PointFeature(geom.Pt(fzCoord(data[i]), fzCoord(data[i+1]))))
+			i += 2
+		case 3: // general ring
+			if i+1 > len(data) {
+				break decode
+			}
+			np := int(data[i]%6) + 3
+			i++
+			var pts []geom.Point
+			for k := 0; k < np; k++ {
+				if i+2 > len(data) {
+					break decode
+				}
+				pts = append(pts, geom.Pt(fzCoord(data[i]), fzCoord(data[i+1])))
+				i += 2
+			}
+			feats[name] = append(feats[name], region.AreaFeature(geom.Polygon{Vertices: pts}))
+		}
+	}
+	regs := make(map[string]region.Region)
+	var names []string
+	for _, name := range fuzzRegionNames {
+		if len(feats[name]) == 0 {
+			continue
+		}
+		r, err := region.New(feats[name]...)
+		if err != nil {
+			return nil, false
+		}
+		regs[name] = r
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, false
+	}
+	sc, err := spatial.NewSchema(names...)
+	if err != nil {
+		return nil, false
+	}
+	inst, err := spatial.Build(sc, regs)
+	if err != nil {
+		return nil, false
+	}
+	return inst, true
+}
+
+// encodeFeature is the seeding inverse of decodeInstance for one feature
+// (coordinates are clipped onto the fuzz grid; seeds carry structure, not
+// exact embeddings).
+func encodeFeature(f region.Feature) []byte {
+	cb := func(r geom.Point) []byte {
+		return []byte{byte(int8(r.X.Float())), byte(int8(r.Y.Float()))}
+	}
+	switch f.Dim {
+	case region.Dim0:
+		return append([]byte{2}, cb(f.Point)...)
+	case region.Dim1:
+		pts := f.Line.Points
+		if len(pts) > 4 {
+			pts = pts[:4]
+		}
+		out := []byte{1, byte(len(pts) - 2)}
+		for _, p := range pts {
+			out = append(out, cb(p)...)
+		}
+		return out
+	default:
+		vs := f.Outer.Vertices
+		if len(vs) > 8 {
+			vs = vs[:8]
+		}
+		out := []byte{3, byte(len(vs) - 3)}
+		for _, p := range vs {
+			out = append(out, cb(p)...)
+		}
+		return out
+	}
+}
+
+// signSummary renders a sign map deterministically.
+func signSummary(m map[string]Sign) string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += n + "=" + m[n].String() + ";"
+	}
+	return s
+}
+
+// complexSummary flattens a complex into three sorted string multisets that
+// are invariant under cell renumbering and chain orientation.
+func complexSummary(cx *Complex) (verts, edges, faces []string) {
+	for _, v := range cx.Vertices {
+		verts = append(verts, v.Point.Key()+"|"+signSummary(v.Sign))
+	}
+	for _, e := range cx.Edges {
+		anchor := e.Chain[0].Key()
+		for _, p := range e.Chain[1:] {
+			if k := p.Key(); k < anchor {
+				anchor = k
+			}
+		}
+		edges = append(edges, fmt.Sprintf("%s|n=%d|closed=%v|%s",
+			anchor, len(e.Chain), e.Closed, signSummary(e.Sign)))
+	}
+	for _, f := range cx.Faces {
+		faces = append(faces, fmt.Sprintf("ext=%v|%s", f.ID == cx.ExteriorFace, signSummary(f.Sign)))
+	}
+	sort.Strings(verts)
+	sort.Strings(edges)
+	sort.Strings(faces)
+	return verts, edges, faces
+}
+
+func diffStrings(kind string, a, b []string) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%s count %d vs %d", kind, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("%s[%d]: sweep %q vs naive %q", kind, i, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+func FuzzSweepSubdivisionVsNaive(f *testing.F) {
+	// Workload-derived seeds: all five generators' realistic degeneracy
+	// sources, one record stream per instance.
+	for _, inst := range fuzzWorkloadInstances(f) {
+		var seed []byte
+		for _, name := range inst.SortedNames() {
+			for _, feat := range inst.Region(name).Features {
+				if len(seed) > 160 {
+					break
+				}
+				seed = append(seed, encodeFeature(feat)...)
+			}
+		}
+		f.Add(seed)
+	}
+	// Hand-built degenerates.
+	hand := [][]region.Feature{
+		{ // vertical stack: collinear vertical segments sharing x
+			region.LineFeature(geom.MustPolyline(geom.Pt(2, 0), geom.Pt(2, 4))),
+			region.LineFeature(geom.MustPolyline(geom.Pt(2, 2), geom.Pt(2, 8))),
+			region.LineFeature(geom.MustPolyline(geom.Pt(2, 8), geom.Pt(2, 12))),
+		},
+		{ // shared endpoints: a star of segments from one junction
+			region.LineFeature(geom.MustPolyline(geom.Pt(0, 0), geom.Pt(4, 4))),
+			region.LineFeature(geom.MustPolyline(geom.Pt(4, 4), geom.Pt(8, 0))),
+			region.LineFeature(geom.MustPolyline(geom.Pt(4, 4), geom.Pt(4, 9))),
+			region.PointFeature(geom.Pt(4, 4)),
+		},
+		{ // collinear overlaps: horizontal segments overlapping pairwise
+			region.LineFeature(geom.MustPolyline(geom.Pt(0, 3), geom.Pt(6, 3))),
+			region.LineFeature(geom.MustPolyline(geom.Pt(4, 3), geom.Pt(10, 3))),
+			region.AreaFeature(geom.Rect(0, 0, 6, 3)),
+		},
+	}
+	for _, feats := range hand {
+		var seed []byte
+		for _, ft := range feats {
+			seed = append(seed, encodeFeature(ft)...)
+		}
+		f.Add(seed)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 192 {
+			// The naive reference is quadratic; keep the loop fast.
+			t.Skip()
+		}
+		inst, ok := decodeInstance(data)
+		if !ok {
+			return
+		}
+		a, aerr := Build(inst)
+		b, berr := Build(inst, WithNaivePairFinding())
+		if (aerr == nil) != (berr == nil) {
+			t.Fatalf("build verdicts differ: sweep %v, naive %v", aerr, berr)
+		}
+		if aerr != nil {
+			return
+		}
+		av, ae, af := complexSummary(a)
+		bv, be, bf := complexSummary(b)
+		for _, d := range []string{
+			diffStrings("vertex", av, bv),
+			diffStrings("edge", ae, be),
+			diffStrings("face", af, bf),
+		} {
+			if d != "" {
+				t.Fatalf("sweep vs naive complex mismatch: %s", d)
+			}
+		}
+	})
+}
+
+// fuzzWorkloadInstances returns all five workload generators' instances.
+func fuzzWorkloadInstances(t testing.TB) []*spatial.Instance {
+	t.Helper()
+	var out []*spatial.Instance
+	add := func(inst *spatial.Instance, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, inst)
+	}
+	add(workload.LandUse(workload.DefaultLandUse(1)))
+	add(workload.Hydrography(workload.DefaultHydrography(1)))
+	add(workload.Commune(workload.DefaultCommune(1)))
+	add(workload.NestedRegions(3))
+	add(workload.MultiComponent(4))
+	return out
+}

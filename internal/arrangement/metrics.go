@@ -5,8 +5,8 @@ import (
 )
 
 // Process-wide arrangement metrics (obs default registry, served at
-// GET /metrics).  Build is the cold path the ROADMAP's sweep-rebuild item
-// targets; these are the counters that will prove that win when it lands.
+// GET /metrics).  Build now runs on the exact sweep end to end; these
+// counters track its cost alongside the sweep package's own metrics.
 var (
 	mBuildLatency = obs.Default.Histogram(
 		"topoinv_arrangement_build_seconds",

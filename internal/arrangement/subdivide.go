@@ -1,17 +1,58 @@
 package arrangement
 
 import (
-	"math"
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/region"
 	"repro/internal/spatial"
+	"repro/internal/sweep"
 )
 
 // subSeg is an elementary sub-segment between two vertex IDs.  Elementary
-// sub-segments intersect each other only at shared endpoints.
+// sub-segments intersect each other only at shared endpoints.  The vertex a
+// is always the lexicographically smaller endpoint, so the even half-edge
+// 2i of sub-segment i runs left to right (bottom to top when vertical).
 type subSeg struct {
-	a, b int // vertex IDs, a < b is not required
+	a, b int
+}
+
+// areaFeat is one dimension-2 feature as ring IDs: crossing an edge covered
+// by a ring toggles the containment parity of that ring, and a point is
+// inside the feature iff it is inside the outer ring and outside every hole.
+type areaFeat struct {
+	outer int
+	holes []int
+}
+
+// srcTables records which region boundaries produced each input segment and
+// isolated point.  classify() uses them to derive every cell's sign class
+// combinatorially — by propagating ring-crossing parities over the face dual
+// graph — instead of point-locating representative points in the regions.
+type srcTables struct {
+	names      []string // schema order; region index = position here
+	areaFeats  [][]areaFeat
+	nRings     int
+	ringRegion []int // ring ID -> region index
+
+	segRings  map[string][]int // input segment key -> ring IDs covering it
+	segLines  map[string][]int // input segment key -> region indices with a line feature covering it
+	pointRegs map[string][]int // isolated point key -> region indices with that Dim0 feature
+}
+
+func (src *srcTables) addRing(ri int, pg geom.Polygon, segSet map[string]geom.Segment) int {
+	id := src.nRings
+	src.nRings++
+	src.ringRegion = append(src.ringRegion, ri)
+	for _, e := range pg.Edges() {
+		if e.A.Equal(e.B) {
+			continue
+		}
+		c := e.Canonical()
+		segSet[c.Key()] = c
+		src.segRings[c.Key()] = append(src.segRings[c.Key()], id)
+	}
+	return id
 }
 
 // subdivision is the output of the splitting phase.
@@ -22,6 +63,18 @@ type subdivision struct {
 	// isolatedCandidates are vertex IDs created from dimension-0 region
 	// features; they are isolated only if no sub-segment ends at them.
 	isolatedCandidates []int
+
+	// Classification sources (always built).
+	src      *srcTables
+	subRings [][]int // per sub-segment: ring IDs covering it (sorted, unique)
+	subLines [][]int // per sub-segment: region indices whose lines cover it
+
+	// Sweep-order data; nil on the naive differential-reference path, which
+	// signals faces.go and classify.go to use the point-location machinery.
+	below       map[string]int // event point key -> input segment below, or -1
+	inputSegs   []geom.Segment // deduplicated canonical input segments
+	inputSplits [][]geom.Point // sorted unique split points per input segment
+	segIndex    map[[2]int]int // ID-sorted vertex pair -> sub-segment index
 
 	inputSegments   int
 	candidatePairs  int
@@ -42,22 +95,53 @@ func (s *subdivision) vertexID(p geom.Point) int {
 // subdivide collects all boundary segments and isolated points of the
 // instance and splits the segments at every mutual intersection so that the
 // resulting elementary sub-segments meet only at endpoints.
+//
+// The default path runs one exact Bentley–Ottmann sweep (sweep.Subdivide):
+// split points come straight from the sweep's intersection events, isolated
+// points ride the same sweep as probe events, and the sweep's status order
+// (the segment strictly below every event point) is kept for face tracing.
+// With naivePairs set, the quadratic all-pairs reference is used instead —
+// retained only for differential testing against the sweep path.
 func subdivide(inst *spatial.Instance, naivePairs bool) *subdivision {
 	sub := &subdivision{pointID: make(map[string]int)}
+	src := &srcTables{
+		names:     inst.Schema().Names(),
+		segRings:  make(map[string][]int),
+		segLines:  make(map[string][]int),
+		pointRegs: make(map[string][]int),
+	}
+	src.areaFeats = make([][]areaFeat, len(src.names))
+	sub.src = src
 
-	// Gather the distinct input segments and isolated points.
+	// Gather the distinct input segments and isolated points, tagging each
+	// with the rings / lines / points that produced it.
 	segSet := make(map[string]geom.Segment)
 	var isoPts []geom.Point
-	isoSeen := make(map[string]bool)
-	for _, name := range inst.Schema().Names() {
+	for ri, name := range src.names {
 		r := inst.Region(name)
-		for _, s := range r.BoundarySegments() {
-			segSet[s.Key()] = s.Canonical()
-		}
-		for _, p := range r.IsolatedPoints() {
-			if !isoSeen[p.Key()] {
-				isoSeen[p.Key()] = true
-				isoPts = append(isoPts, p)
+		for _, f := range r.Features {
+			switch f.Dim {
+			case region.Dim0:
+				k := f.Point.Key()
+				if len(src.pointRegs[k]) == 0 {
+					isoPts = append(isoPts, f.Point)
+				}
+				src.pointRegs[k] = appendUnique(src.pointRegs[k], ri)
+			case region.Dim1:
+				for _, s := range f.Line.Segments() {
+					if s.A.Equal(s.B) {
+						continue
+					}
+					c := s.Canonical()
+					segSet[c.Key()] = c
+					src.segLines[c.Key()] = appendUnique(src.segLines[c.Key()], ri)
+				}
+			case region.Dim2:
+				af := areaFeat{outer: src.addRing(ri, f.Outer, segSet)}
+				for _, h := range f.Holes {
+					af.holes = append(af.holes, src.addRing(ri, h, segSet))
+				}
+				src.areaFeats[ri] = append(src.areaFeats[ri], af)
 			}
 		}
 	}
@@ -71,6 +155,7 @@ func subdivide(inst *spatial.Instance, naivePairs bool) *subdivision {
 		segs = append(segs, segSet[k])
 	}
 	sub.inputSegments = len(segs)
+	sub.inputSegs = segs
 
 	// Split points for every segment: its endpoints, intersections with other
 	// segments, and isolated points lying on it.
@@ -79,41 +164,51 @@ func subdivide(inst *spatial.Instance, naivePairs bool) *subdivision {
 		splitPts[i] = []geom.Point{s.A, s.B}
 	}
 
-	var pairs [][2]int
 	if naivePairs {
-		pairs = naiveCandidatePairs(segs)
-	} else {
-		pairs = gridCandidatePairs(segs)
-	}
-	sub.candidatePairs = len(pairs)
-
-	for _, pr := range pairs {
-		i, j := pr[0], pr[1]
-		sub.intersectionOps++
-		in := geom.SegmentIntersection(segs[i], segs[j])
-		switch in.Kind {
-		case geom.PointIntersection:
-			splitPts[i] = append(splitPts[i], in.P)
-			splitPts[j] = append(splitPts[j], in.P)
-		case geom.OverlapIntersection:
-			splitPts[i] = append(splitPts[i], in.OverlapA, in.OverlapB)
-			splitPts[j] = append(splitPts[j], in.OverlapA, in.OverlapB)
-		}
-	}
-
-	// Isolated points lying on segments split them too.
-	for _, q := range isoPts {
-		for i, s := range segs {
-			if s.ContainsPoint(q) {
-				splitPts[i] = append(splitPts[i], q)
+		// Differential reference: exact all-pairs boxes plus a quadratic
+		// point-on-segment scan.
+		pairs := naiveCandidatePairs(segs)
+		sub.candidatePairs = len(pairs)
+		for _, pr := range pairs {
+			i, j := pr[0], pr[1]
+			sub.intersectionOps++
+			in := geom.SegmentIntersection(segs[i], segs[j])
+			switch in.Kind {
+			case geom.PointIntersection:
+				splitPts[i] = append(splitPts[i], in.P)
+				splitPts[j] = append(splitPts[j], in.P)
+			case geom.OverlapIntersection:
+				splitPts[i] = append(splitPts[i], in.OverlapA, in.OverlapB)
+				splitPts[j] = append(splitPts[j], in.OverlapA, in.OverlapB)
 			}
 		}
+		for _, q := range isoPts {
+			for i, s := range segs {
+				if s.ContainsPoint(q) {
+					splitPts[i] = append(splitPts[i], q)
+				}
+			}
+		}
+	} else {
+		sd := sweep.Subdivide(segs, isoPts)
+		for i := range segs {
+			splitPts[i] = append(splitPts[i], sd.Splits[i]...)
+		}
+		sub.below = sd.Below
+		sub.candidatePairs = sd.Pairs
+		sub.intersectionOps = sd.Pairs
 	}
 
-	// Emit elementary sub-segments, deduplicated.
-	segSeen := make(map[[2]int]bool)
+	// Emit elementary sub-segments, deduplicated, merging the boundary
+	// sources of every input segment that covers each sub-segment (collinear
+	// overlaps make one sub-segment belong to several input segments).
+	sub.segIndex = make(map[[2]int]int)
+	sub.inputSplits = make([][]geom.Point, len(segs))
 	for i := range segs {
 		pts := geom.SortPoints(splitPts[i])
+		sub.inputSplits[i] = pts
+		rk := src.segRings[keys[i]]
+		lk := src.segLines[keys[i]]
 		for k := 0; k+1 < len(pts); k++ {
 			a := sub.vertexID(pts[k])
 			b := sub.vertexID(pts[k+1])
@@ -121,12 +216,21 @@ func subdivide(inst *spatial.Instance, naivePairs bool) *subdivision {
 			if a > b {
 				key = [2]int{b, a}
 			}
-			if segSeen[key] {
-				continue
+			si, ok := sub.segIndex[key]
+			if !ok {
+				si = len(sub.segments)
+				sub.segIndex[key] = si
+				sub.segments = append(sub.segments, subSeg{a, b})
+				sub.subRings = append(sub.subRings, nil)
+				sub.subLines = append(sub.subLines, nil)
 			}
-			segSeen[key] = true
-			sub.segments = append(sub.segments, subSeg{a, b})
+			sub.subRings[si] = mergeUnique(sub.subRings[si], rk)
+			sub.subLines[si] = mergeUnique(sub.subLines[si], lk)
 		}
+	}
+	for si := range sub.segments {
+		sort.Ints(sub.subRings[si])
+		sort.Ints(sub.subLines[si])
 	}
 
 	// Register isolated points as vertices.
@@ -136,8 +240,44 @@ func subdivide(inst *spatial.Instance, naivePairs bool) *subdivision {
 	return sub
 }
 
+// subSegAt returns the index of the sub-segment of (non-vertical) input
+// segment i whose open x-span contains x.  It is only called for blocker
+// points known to lie strictly inside a sub-segment.
+func (sub *subdivision) subSegAt(i int, x geom.Point) int {
+	pts := sub.inputSplits[i]
+	// Largest k with pts[k].X < x.X (the split points of a non-vertical
+	// segment strictly increase in x).
+	k := sort.Search(len(pts), func(k int) bool { return !pts[k].X.Less(x.X) }) - 1
+	a := sub.pointID[pts[k].Key()]
+	b := sub.pointID[pts[k+1].Key()]
+	key := [2]int{a, b}
+	if a > b {
+		key = [2]int{b, a}
+	}
+	return sub.segIndex[key]
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func mergeUnique(dst, add []int) []int {
+	for _, v := range add {
+		dst = appendUnique(dst, v)
+	}
+	return dst
+}
+
 // naiveCandidatePairs returns every pair of segments whose exact bounding
-// boxes intersect.
+// boxes intersect.  It is the quadratic differential-testing reference for
+// the sweep path; the old float-grid candidate finder is gone — its fixed
+// 1e-6 pad over non-monotone float64 approximations of exact rationals could
+// silently drop truly intersecting pairs (see TestGridPairFinderMissedPair).
 func naiveCandidatePairs(segs []geom.Segment) [][2]int {
 	var out [][2]int
 	boxes := make([]geom.Box, len(segs))
@@ -148,104 +288,6 @@ func naiveCandidatePairs(segs []geom.Segment) [][2]int {
 		for j := i + 1; j < len(segs); j++ {
 			if boxes[i].Intersects(boxes[j]) {
 				out = append(out, [2]int{i, j})
-			}
-		}
-	}
-	return out
-}
-
-// gridCandidatePairs uses a uniform float64 grid over padded bounding boxes
-// to find candidate intersecting pairs.  The padding makes the candidate set
-// a superset of the exact-box-overlap pairs for all practical coordinate
-// magnitudes; exactness of the final subdivision only relies on the exact
-// SegmentIntersection applied to each candidate pair.
-func gridCandidatePairs(segs []geom.Segment) [][2]int {
-	n := len(segs)
-	if n < 2 {
-		return nil
-	}
-	type fbox struct{ minX, maxX, minY, maxY float64 }
-	boxes := make([]fbox, n)
-	gMinX, gMinY := math.Inf(1), math.Inf(1)
-	gMaxX, gMaxY := math.Inf(-1), math.Inf(-1)
-	for i, s := range segs {
-		b := s.Box()
-		pad := 1e-6
-		fb := fbox{
-			minX: b.MinX.Float() - pad, maxX: b.MaxX.Float() + pad,
-			minY: b.MinY.Float() - pad, maxY: b.MaxY.Float() + pad,
-		}
-		boxes[i] = fb
-		gMinX = math.Min(gMinX, fb.minX)
-		gMinY = math.Min(gMinY, fb.minY)
-		gMaxX = math.Max(gMaxX, fb.maxX)
-		gMaxY = math.Max(gMaxY, fb.maxY)
-	}
-	width := gMaxX - gMinX
-	height := gMaxY - gMinY
-	if width <= 0 {
-		width = 1
-	}
-	if height <= 0 {
-		height = 1
-	}
-	// Aim for roughly n cells.
-	cells := int(math.Sqrt(float64(n))) + 1
-	cw := width / float64(cells)
-	ch := height / float64(cells)
-	if cw <= 0 {
-		cw = 1
-	}
-	if ch <= 0 {
-		ch = 1
-	}
-	cellOf := func(x, y float64) (int, int) {
-		cx := int((x - gMinX) / cw)
-		cy := int((y - gMinY) / ch)
-		if cx < 0 {
-			cx = 0
-		}
-		if cy < 0 {
-			cy = 0
-		}
-		if cx >= cells {
-			cx = cells - 1
-		}
-		if cy >= cells {
-			cy = cells - 1
-		}
-		return cx, cy
-	}
-	buckets := make(map[[2]int][]int)
-	for i, fb := range boxes {
-		x0, y0 := cellOf(fb.minX, fb.minY)
-		x1, y1 := cellOf(fb.maxX, fb.maxY)
-		for cx := x0; cx <= x1; cx++ {
-			for cy := y0; cy <= y1; cy++ {
-				buckets[[2]int{cx, cy}] = append(buckets[[2]int{cx, cy}], i)
-			}
-		}
-	}
-	seen := make(map[[2]int]bool)
-	var out [][2]int
-	overlap := func(a, b fbox) bool {
-		return a.minX <= b.maxX && b.minX <= a.maxX && a.minY <= b.maxY && b.minY <= a.maxY
-	}
-	for _, ids := range buckets {
-		for x := 0; x < len(ids); x++ {
-			for y := x + 1; y < len(ids); y++ {
-				i, j := ids[x], ids[y]
-				if i > j {
-					i, j = j, i
-				}
-				key := [2]int{i, j}
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				if overlap(boxes[i], boxes[j]) {
-					out = append(out, key)
-				}
 			}
 		}
 	}

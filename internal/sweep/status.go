@@ -242,6 +242,24 @@ func (sw *sweeper) countBelow(p geom.Point) int {
 	return n
 }
 
+// predBelow returns the input index of the status segment whose line passes
+// strictly below p and is nearest to it (the in-order predecessor of p's rank
+// position), or -1 when no status segment passes below p.  Collinear
+// overlapping segments share a supporting line, so any representative of a
+// tied group is equivalent for the callers (they only use the line).
+func (sw *sweeper) predBelow(p geom.Point) int {
+	best := -1
+	for cur := sw.root; cur != nil; {
+		if geom.CmpPointSeg(p, sw.segs[cur.seg]) > 0 {
+			best = cur.seg
+			cur = cur.r
+		} else {
+			cur = cur.l
+		}
+	}
+	return best
+}
+
 // pointHeap is a minimal binary min-heap of points in lexicographic order,
 // holding the dynamically discovered crossing events.
 type pointHeap struct {

@@ -115,6 +115,19 @@ type sweeper struct {
 	// reaches it (before any mutation there).
 	queries map[string][]*int
 
+	// belowOut, when non-nil, receives for every event point the index of the
+	// status segment strictly below it (or -1), recorded before the event
+	// mutates the status.  This is the sweep-order predecessor the
+	// subdivision client threads into face tracing.
+	belowOut map[string]int
+
+	// probe marks event points whose full incidence set (every input segment
+	// containing the point) should be reported to onProbe.  The subdivision
+	// client uses this to split segments at isolated region points without an
+	// O(points×segments) scan.
+	probe   map[string]bool
+	onProbe func(p geom.Point, segs []int)
+
 	// eventsProcessed / pairsReported feed the process-wide sweep metrics
 	// once per run (plain fields here: a sweep is single-goroutine).
 	eventsProcessed uint64
@@ -162,6 +175,25 @@ func (sw *sweeper) addQuery(p geom.Point, out *int) {
 	sw.queries[p.Key()] = append(sw.queries[p.Key()], out)
 }
 
+// addEventPoints merges extra static event points into the queue.  It must be
+// called before run() starts.  The subdivision client uses this to make every
+// isolated region point an event, so point-on-segment incidences are found by
+// the same sweep that finds segment intersections.
+func (sw *sweeper) addEventPoints(pts []geom.Point) {
+	added := false
+	for _, p := range pts {
+		if sw.queued[p.Key()] {
+			continue
+		}
+		sw.queued[p.Key()] = true
+		sw.events = append(sw.events, p)
+		added = true
+	}
+	if added {
+		sort.Slice(sw.events, func(i, j int) bool { return geom.CmpXY(sw.events[i], sw.events[j]) < 0 })
+	}
+}
+
 func (sw *sweeper) run() {
 	for !sw.stopped {
 		p, ok := sw.nextEvent()
@@ -180,6 +212,13 @@ func (sw *sweeper) run() {
 			for _, o := range outs {
 				*o = c
 			}
+		}
+		// The below-predecessor is recorded with the same pre-mutation timing
+		// as the rank queries: segments through p are still in the status but
+		// compare equal at p, so predBelow sees exactly the segments whose
+		// line passes strictly below the point.
+		if sw.belowOut != nil {
+			sw.belowOut[key] = sw.predBelow(p)
 		}
 
 		if !sw.curXSet || !sw.curX.Equal(p.X) {
@@ -218,8 +257,13 @@ func (sw *sweeper) run() {
 			}
 		}
 		// Active verticals whose span contains p intersect everything at p.
+		probing := sw.onProbe != nil && sw.probe[key]
+		var spanVerts []int
 		for _, v := range sw.actVert {
 			if sw.segs[v].A.Y.LessEq(p.Y) && p.Y.LessEq(sw.segs[v].B.Y) {
+				if probing {
+					spanVerts = append(spanVerts, v)
+				}
 				for _, s := range members {
 					sw.report(v, s)
 					if sw.stopped {
@@ -227,6 +271,15 @@ func (sw *sweeper) run() {
 					}
 				}
 			}
+		}
+		// Probe points: report every input segment containing p — the run
+		// (status lines through p within their x-span), the segments starting
+		// at p, and the active verticals whose span contains p.
+		if probing {
+			hit := make([]int, 0, len(members)+len(spanVerts))
+			hit = append(hit, members...)
+			hit = append(hit, spanVerts...)
+			sw.onProbe(p, hit)
 		}
 
 		// Capture the neighbours bracketing the run before removing it.
