@@ -303,24 +303,24 @@ func readLoadBody(w http.ResponseWriter, r *http.Request) (*loadRequest, int, er
 	if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
 		zr, err := gzip.NewReader(r.Body)
 		if err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("bad gzip body: %v", err)
+			return nil, http.StatusBadRequest, fmt.Errorf("bad gzip body: %w", err)
 		}
 		defer zr.Close()
 		data, err := io.ReadAll(io.LimitReader(zr, maxGeoJSONBytes+1))
 		if err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("bad gzip body: %v", err)
+			return nil, http.StatusBadRequest, fmt.Errorf("bad gzip body: %w", err)
 		}
 		if len(data) > maxGeoJSONBytes {
 			return nil, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("gzipped body inflates past %d bytes", maxGeoJSONBytes)
 		}
 		if err := json.Unmarshal(data, &req); err != nil {
-			return nil, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
+			return nil, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
 		}
 		return &req, 0, nil
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		return nil, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err)
+		return nil, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
 	}
 	return &req, 0, nil
 }

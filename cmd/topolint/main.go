@@ -1,0 +1,74 @@
+// Command topolint runs the repo-specific static-analysis suite
+// (internal/lint) over the module and reports file:line:col diagnostics,
+// exiting nonzero when any survive. Findings are suppressed only by explicit
+// //lint:allow <analyzer>(reason) directives in the source.
+//
+// Usage:
+//
+//	go run ./cmd/topolint [-json] [-list] [packages]
+//
+// Packages default to ./... and are resolved by `go list`, so any pattern
+// the go tool accepts works. -json emits a machine-readable report (the CI
+// artifact); -list prints the analyzer catalogue and exits.
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	list := flag.Bool("list", false, "print the analyzer catalogue and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: topolint [-json] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.NewLoader(wd).Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topolint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "topolint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "topolint: %d diagnostic(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -382,6 +382,7 @@ func (c *Complex) FaceOfPoint(p geom.Point) CellRef {
 		}
 		if crossingContains(pts, p) {
 			a := approxAbsArea(pts)
+			//lint:allow exactfloat(innermost-face tie-break on approximate areas; the parity test above is exact, ties only reorder equal candidates)
 			if bestArea < 0 || a < bestArea {
 				bestArea = a
 				best = f.ID
@@ -402,6 +403,12 @@ func (c *Complex) faceOuterApprox(f *Face) []geom.Point {
 	return pts
 }
 
+// approxAbsArea is the shoelace area over float64 approximations of the
+// exact vertices.  It only ranks candidate faces by size in FaceOfPoint — a
+// heuristic, never a topological decision — which is the one job float64 is
+// allowed to do in this package.
+//
+//lint:allow exactfloat(size-ranking heuristic only; exact predicates decide membership before areas break ties)
 func approxAbsArea(pts []geom.Point) float64 {
 	sum := 0.0
 	for i := 0; i < len(pts); i++ {

@@ -325,6 +325,7 @@ func (e *Engine) invariant(inst *spatial.Instance) (inv *invariant.Invariant, hi
 	}
 	sh := e.shardFor(key)
 
+	//lint:allow lockdiscipline(the hit and dedup branches must release before returning or blocking on c.done — holding the shard across an invariant build would serialize the cache; every branch unlocks before its return)
 	sh.mu.Lock()
 	if el, ok := sh.cache[key]; ok {
 		sh.lru.MoveToFront(el)

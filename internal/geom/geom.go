@@ -45,6 +45,11 @@ func (p Point) Sub(q Point) Point { return Point{p.X.Sub(q.X), p.Y.Sub(q.Y)} }
 func (p Point) Scale(k rat.R) Point { return Point{p.X.Mul(k), p.Y.Mul(k)} }
 
 // Float returns a float64 approximation of the point (for rendering / stats).
+// The approximation is non-monotone at |x| ≳ 2^53 — never feed it back into
+// a geometric decision (the deleted PR 7 gridCandidatePairs did, and missed
+// true intersections).
+//
+//lint:allow exactfloat(rendering/stats escape hatch; this method is the documented boundary out of exact arithmetic)
 func (p Point) Float() (float64, float64) { return p.X.Float(), p.Y.Float() }
 
 // CmpXY compares points lexicographically by (X, Y).

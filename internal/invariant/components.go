@@ -174,6 +174,7 @@ func computeComponents(inv *Invariant) *Components {
 		it := queue[0]
 		queue = queue[1:]
 		if it.isFace {
+			//lint:allow determinism(BFS levels are iteration-order independent: a node's Distance is its depth, fixed by the graph, whatever order neighbours enqueue)
 			for comp := range faceComps[it.id] {
 				if comps.List[comp].Distance == -1 {
 					comps.List[comp].Distance = faceDist[it.id]
@@ -181,6 +182,7 @@ func computeComponents(inv *Invariant) *Components {
 				}
 			}
 		} else {
+			//lint:allow determinism(BFS levels are iteration-order independent: a node's Distance is its depth, fixed by the graph, whatever order neighbours enqueue)
 			for f := range compFaces[it.id] {
 				if faceDist[f] == -1 {
 					faceDist[f] = comps.List[it.id].Distance + 1
@@ -305,6 +307,7 @@ func (cs *Components) Count() int { return len(cs.List) }
 // components.
 func (cs *Components) RegionPartition() (map[int][]string, bool) {
 	out := map[int][]string{}
+	//lint:allow determinism(bucket contents are appended in map order but every bucket is sorted before return, below)
 	for name, comps := range cs.RegionComponents {
 		if len(comps) > 1 {
 			return nil, false

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Analyzers returns a fresh instance of every analyzer in the suite.
+// Instances carry per-run state (metrichygiene's module-wide name index), so
+// a slice must not be shared between Run calls.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		newExactFloat(),
+		newLockDiscipline(),
+		newErrWrap(),
+		newDeterminism(),
+		newMetricHygiene(),
+	}
+}
+
+// ByName returns the analyzer with the given name from a fresh suite, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// funcObj resolves the called function object of a call expression, through
+// either a plain identifier or a selector.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// stmtLists yields every flat statement list in the file — block bodies plus
+// the bare bodies of case and select clauses — so analyzers that reason
+// about statement sequences (lockdiscipline, determinism) see each list
+// exactly once.
+func stmtLists(f *ast.File, visit func([]ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			visit(n.List)
+		case *ast.CaseClause:
+			visit(n.Body)
+		case *ast.CommClause:
+			visit(n.Body)
+		}
+		return true
+	})
+}

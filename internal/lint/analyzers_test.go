@@ -1,0 +1,103 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func analyzer(t *testing.T, name string) *lint.Analyzer {
+	t.Helper()
+	a := lint.ByName(name)
+	if a == nil {
+		t.Fatalf("no analyzer %q", name)
+	}
+	return a
+}
+
+// TestExactFloatFixture pins the PR 7 class: a reconstruction of the deleted
+// gridCandidatePairs float-grid pair finder must trip exactfloat on every
+// float escape and comparison, and the exact replacement must stay silent.
+func TestExactFloatFixture(t *testing.T) {
+	diags := linttest.Run(t, "testdata/src/exactfloat", "repro/internal/sweep/fixture", analyzer(t, "exactfloat"))
+
+	// The regression pin the issue demands: the gridCandidatePairs pattern
+	// itself must be among the findings.
+	found := false
+	for _, d := range diags {
+		if strings.HasSuffix(d.File, "gridpairs.go") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("exactfloat reported nothing inside the gridCandidatePairs reconstruction; the PR 7 bug class would reland silently")
+	}
+}
+
+// TestExactFloatScope checks the path scoping: the same float-heavy code
+// outside the exact-arithmetic packages is none of exactfloat's business.
+func TestExactFloatScope(t *testing.T) {
+	a := analyzer(t, "exactfloat")
+	for _, path := range []string{"repro/internal/sweep", "repro/internal/arrangement", "repro/internal/geom/deep/nested"} {
+		if !appliesTo(a, path) {
+			t.Errorf("exactfloat should apply to %s", path)
+		}
+	}
+	for _, path := range []string{"repro/internal/stats", "repro/internal/geometry", "repro/cmd/topoinv"} {
+		if appliesTo(a, path) {
+			t.Errorf("exactfloat should not apply to %s", path)
+		}
+	}
+}
+
+// appliesTo mirrors the driver's prefix matching through the public Run
+// surface: run the analyzer over a synthetic package list is overkill, so we
+// reproduce the rule here and cross-check it against the analyzer's Paths.
+func appliesTo(a *lint.Analyzer, pkgPath string) bool {
+	for _, p := range a.Paths {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/lockdiscipline", "repro/internal/fixture", analyzer(t, "lockdiscipline"))
+}
+
+func TestErrWrapFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/errwrap", "repro/internal/fixture", analyzer(t, "errwrap"))
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/determinism", "repro/internal/codec/fixture", analyzer(t, "determinism"))
+}
+
+// TestDeterminismScope: the same package loaded outside the canonical paths
+// must produce nothing.
+func TestDeterminismScope(t *testing.T) {
+	a := analyzer(t, "determinism")
+	if appliesTo(a, "repro/internal/engine") {
+		t.Fatal("determinism must not apply to repro/internal/engine")
+	}
+	for _, p := range []string{"repro/internal/codec", "repro/internal/queryl", "repro/internal/invariant"} {
+		if !appliesTo(a, p) {
+			t.Errorf("determinism should apply to %s", p)
+		}
+	}
+}
+
+func TestMetricHygieneFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/metrichygiene", "repro/internal/fixture", analyzer(t, "metrichygiene"))
+}
+
+// TestDirectiveFixture exercises the suppression machinery itself, with
+// errwrap as the carrier analyzer: malformed/unknown/empty-reason directives
+// are diagnostics; same-line, line-above and function-doc directives
+// suppress exactly their scope.
+func TestDirectiveFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/directive", "repro/internal/fixture", analyzer(t, "errwrap"))
+}

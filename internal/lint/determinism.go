@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// determinismPaths are the content-addressed / canonical-output packages:
+// codec bytes are cache keys and golden-file pins, queryl's canonical text
+// is the answer-cache identity, and invariant cell IDs feed both. Any
+// run-to-run variation here silently poisons content addressing.
+var determinismPaths = []string{
+	"repro/internal/codec",
+	"repro/internal/queryl",
+	"repro/internal/invariant",
+}
+
+func newDeterminism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc: "forbids nondeterministic inputs in canonical/content-addressed packages: " +
+			"time.Now, math/rand, and map iteration whose order can reach the output " +
+			"(collect-then-sort and map-to-map copies are recognised as benign)",
+		Paths: determinismPaths,
+		Run:   runDeterminism,
+	}
+}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && (p == "math/rand" || p == "math/rand/v2") {
+				pass.Reportf(imp.Pos(), "import of %s in a canonical package; outputs must be reproducible", p)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := funcObj(info, call); fn != nil && fn.FullName() == "time.Now" {
+				pass.Reportf(call.Pos(), "time.Now in a canonical package; outputs must be reproducible")
+			}
+			return true
+		})
+		stmtLists(f, func(list []ast.Stmt) {
+			for i, s := range list {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := info.Types[rs.X]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if benignMapRange(info, rs, list[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.Pos(), "map iteration order can reach the output of a canonical package; collect and sort keys first, or annotate why order cannot matter")
+			}
+		})
+	}
+}
+
+// benignMapRange recognises the two map-iteration shapes whose result is
+// order-independent:
+//
+//   - collect-then-sort: the body only appends the key and/or value to one
+//     slice, and the very next statement sorts that slice
+//     (sort.* / slices.Sort*);
+//   - map copy: the body is a single `dst[k] = v` whose key and value are
+//     the range variables (insertion order never matters for a map);
+//   - per-value normalisation: the body is a single sort.*/slices.* call on
+//     range variables — each entry is canonicalised independently.
+func benignMapRange(info *types.Info, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	rangeVars := map[string]bool{}
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			rangeVars[id.Name] = true
+		}
+	}
+
+	if es, ok := rs.Body.List[0].(*ast.ExprStmt); ok {
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := funcObj(info, call)
+		if fn == nil || fn.Pkg() == nil || (fn.Pkg().Path() != "sort" && fn.Pkg().Path() != "slices") {
+			return false
+		}
+		for _, a := range call.Args {
+			id, ok := a.(*ast.Ident)
+			if !ok || !rangeVars[id.Name] {
+				return false
+			}
+		}
+		return true
+	}
+
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+
+	// Map copy: dst[k] = v with both sides range variables (or constants).
+	if idx, ok := as.Lhs[0].(*ast.IndexExpr); ok {
+		keyID, keyOK := idx.Index.(*ast.Ident)
+		if !keyOK || !rangeVars[keyID.Name] {
+			return false
+		}
+		if tv, ok := info.Types[idx.X]; !ok || tv.Type == nil {
+			return false
+		} else if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return false
+		}
+		switch rhs := as.Rhs[0].(type) {
+		case *ast.Ident:
+			return rangeVars[rhs.Name]
+		case *ast.CompositeLit:
+			return len(rhs.Elts) == 0 // zero-value struct{}{} sets
+		case *ast.BasicLit:
+			return true
+		}
+		return false
+	}
+
+	// Collect-then-sort: s = append(s, k) followed by sort of s.
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if len(call.Args) < 2 {
+		return false
+	}
+	if first, ok := call.Args[0].(*ast.Ident); !ok || first.Name != dst.Name {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		id, ok := a.(*ast.Ident)
+		if !ok || !rangeVars[id.Name] {
+			return false
+		}
+	}
+	if len(rest) == 0 {
+		return false
+	}
+	es, ok := rest[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	sortCall, ok := es.X.(*ast.CallExpr)
+	if !ok || len(sortCall.Args) == 0 {
+		return false
+	}
+	fn := funcObj(info, sortCall)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg == nil || (pkg.Path() != "sort" && pkg.Path() != "slices") {
+		return false
+	}
+	arg, ok := sortCall.Args[0].(*ast.Ident)
+	return ok && arg.Name == dst.Name
+}

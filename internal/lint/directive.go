@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowRE matches the body of a well-formed suppression directive:
+// //lint:allow <analyzer>(<nonempty reason>).
+var allowRE = regexp.MustCompile(`^//lint:allow ([a-z]+)\((.+)\)\s*$`)
+
+// lineRange is an inclusive [From, To] span of lines within one file.
+type lineRange struct{ from, to int }
+
+// suppressions records, per file and analyzer, the line ranges where
+// diagnostics are allowed.
+type suppressions struct {
+	byFile map[string]map[string][]lineRange // file -> analyzer -> ranges
+}
+
+func (s *suppressions) allows(d Diagnostic) bool {
+	for _, r := range s.byFile[d.File][d.Analyzer] {
+		if d.Line >= r.from && d.Line <= r.to {
+			return true
+		}
+	}
+	return false
+}
+
+// indexDirectives scans every comment of every file for //lint: directives.
+// A well-formed //lint:allow covers its own line and the next; a directive
+// inside a function's doc comment covers the whole function. Malformed or
+// unknown-analyzer directives come back as diagnostics under "directive".
+func indexDirectives(files []*ast.File, fsets []*token.FileSet, known map[string]bool) (*suppressions, []Diagnostic) {
+	sup := &suppressions{byFile: make(map[string]map[string][]lineRange)}
+	var diags []Diagnostic
+	add := func(file, analyzer string, r lineRange) {
+		m := sup.byFile[file]
+		if m == nil {
+			m = make(map[string][]lineRange)
+			sup.byFile[file] = m
+		}
+		m[analyzer] = append(m[analyzer], r)
+	}
+	for i, f := range files {
+		fset := fsets[i]
+		// Function doc spans: a directive whose line falls inside a doc
+		// comment (or immediately above the declaration) suppresses across
+		// the whole function body.
+		type span struct{ docFrom, declLine, endLine int }
+		var funcs []span
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			declLine := fset.Position(fd.Pos()).Line
+			docFrom := declLine
+			if fd.Doc != nil {
+				docFrom = fset.Position(fd.Doc.Pos()).Line
+			}
+			funcs = append(funcs, span{docFrom, declLine, fset.Position(fd.End()).Line})
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowRE.FindStringSubmatch(c.Text)
+				switch {
+				case m == nil:
+					diags = append(diags, Diagnostic{
+						Analyzer: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "malformed lint directive: want //lint:allow <analyzer>(<reason>)",
+					})
+					continue
+				case !known[m[1]]:
+					diags = append(diags, Diagnostic{
+						Analyzer: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "//lint:allow names unknown analyzer " + m[1],
+					})
+					continue
+				case strings.TrimSpace(m[2]) == "":
+					diags = append(diags, Diagnostic{
+						Analyzer: "directive", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "//lint:allow requires a nonempty reason",
+					})
+					continue
+				}
+				r := lineRange{pos.Line, pos.Line + 1}
+				for _, fn := range funcs {
+					if pos.Line >= fn.docFrom && pos.Line < fn.declLine ||
+						pos.Line == fn.declLine {
+						r = lineRange{fn.declLine, fn.endLine}
+						break
+					}
+				}
+				add(pos.Filename, m[1], r)
+			}
+		}
+	}
+	return sup, diags
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestIndexDirectivesMalformed pins the three ways a //lint: comment can be
+// wrong, each a diagnostic in its own right.
+func TestIndexDirectivesMalformed(t *testing.T) {
+	src := `package p
+
+//lint:allow errwrap
+func a() {}
+
+//lint:allow nosuchanalyzer(spelled wrong)
+func b() {}
+
+//lint:allow errwrap( )
+func c() {}
+
+//lint:allow errwrap(a fine reason)
+func d() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dir.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, diags := indexDirectives([]*ast.File{f}, []*token.FileSet{fset}, map[string]bool{"errwrap": true})
+	wants := []string{"malformed lint directive", "unknown analyzer", "nonempty reason"}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d directive diagnostics, want %d: %v", len(diags), len(wants), diags)
+	}
+	for i, w := range wants {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want it to mention %q", i, diags[i].Message, w)
+		}
+	}
+	// The one well-formed directive suppresses errwrap inside d's body.
+	if !sup.allows(Diagnostic{Analyzer: "errwrap", File: "dir.go", Line: 13}) {
+		t.Error("function-doc directive should cover the declaration line")
+	}
+	if sup.allows(Diagnostic{Analyzer: "errwrap", File: "dir.go", Line: 4}) {
+		t.Error("malformed directive must not suppress anything")
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   string
+	}{
+		{"plain", ""},
+		{"%v", "v"},
+		{"%d and %s", "ds"},
+		{"100%% done: %v", "v"},
+		{"%+v %#v % d", "vvd"},
+		{"%*.*f then %w", "**fw"},
+		{"%8.3f", "f"},
+		{"%q%w%T", "qwT"},
+		{"trailing percent %", ""},
+	}
+	for _, c := range cases {
+		got := string(formatVerbs(c.format))
+		if got != c.want {
+			t.Errorf("formatVerbs(%q) = %q, want %q", c.format, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzerApplies(t *testing.T) {
+	a := &Analyzer{Paths: []string{"repro/internal/geom"}}
+	for path, want := range map[string]bool{
+		"repro/internal/geom":        true,
+		"repro/internal/geom/deep":   true,
+		"repro/internal/geometry":    false,
+		"repro/internal":             false,
+		"other/repro/internal/geom":  false,
+		"repro/internal/geomx/fixup": false,
+	} {
+		if got := a.applies(path); got != want {
+			t.Errorf("applies(%q) = %v, want %v", path, got, want)
+		}
+	}
+	all := &Analyzer{}
+	if !all.applies("anything/at/all") {
+		t.Error("nil Paths must match every package")
+	}
+}
+
+func TestAllowDirectiveSyntax(t *testing.T) {
+	for text, ok := range map[string]bool{
+		"//lint:allow errwrap(reason text)":         true,
+		"//lint:allow errwrap(has (nested) parens)": true,
+		"//lint:allow errwrap()":                    false,
+		"//lint:allow errwrap":                      false,
+		"//lint:allow Errwrap(reason)":              false,
+		"// lint:allow errwrap(reason)":             false,
+		"//lint:allow two words(reason)":            false,
+	} {
+		if got := allowRE.MatchString(text); got != ok {
+			t.Errorf("allowRE.MatchString(%q) = %v, want %v", text, got, ok)
+		}
+	}
+}

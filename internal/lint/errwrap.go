@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+func newErrWrap() *Analyzer {
+	return &Analyzer{
+		Name: "errwrap",
+		Doc: "fmt.Errorf must wrap error operands with %w (not %v/%s) so that " +
+			"callers can match the cause with errors.Is / errors.As",
+		Run: runErrWrap,
+	}
+}
+
+func runErrWrap(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Ellipsis.IsValid() || len(call.Args) < 2 {
+				return true
+			}
+			fn := funcObj(info, call)
+			if fn == nil || fn.FullName() != "fmt.Errorf" {
+				return true
+			}
+			format, ok := constString(info, call.Args[0])
+			if !ok || strings.Contains(format, "[") {
+				return true // non-constant format or explicit argument indexes: out of scope
+			}
+			verbs := formatVerbs(format)
+			for i, verb := range verbs {
+				argIdx := i + 1
+				if argIdx >= len(call.Args) {
+					break // arity mismatch is vet's finding, not ours
+				}
+				if verb != 'v' && verb != 's' {
+					continue
+				}
+				tv, ok := info.Types[call.Args[argIdx]]
+				if !ok || tv.Type == nil || !types.AssignableTo(tv.Type, errorType) {
+					continue
+				}
+				pass.Reportf(call.Args[argIdx].Pos(), "error operand formatted with %%%c; use %%w so callers can errors.Is/As the cause", verb)
+			}
+			return true
+		})
+	}
+}
+
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns, in operand order, the verb consuming each variadic
+// argument of a printf-style format: '*' for a width/precision operand, or
+// the verb rune itself. %% consumes nothing.
+func formatVerbs(format string) []rune {
+	var out []rune
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// width
+		if i < len(format) && format[i] == '*' {
+			out = append(out, '*')
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				out = append(out, '*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			i++
+			continue
+		}
+		out = append(out, rune(format[i]))
+		i++
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// exactFloatMethods are the conversions out of exact rational arithmetic.
+// Any call to them inside an exact-geometry package is the seed of the PR 7
+// bug class: rat.Float rounds numerator and denominator independently, so it
+// is non-monotone — at |x| ≳ 2^53 two exact rationals can round 2.0 apart in
+// the wrong order, and no epsilon pad recovers the lost comparison.
+var exactFloatMethods = map[string]bool{
+	"(repro/internal/rat.R).Float":      true,
+	"(repro/internal/geom.Point).Float": true,
+}
+
+// exactFloatPaths are the packages whose decisions must stay exact.
+var exactFloatPaths = []string{
+	"repro/internal/sweep",
+	"repro/internal/arrangement",
+	"repro/internal/geom",
+}
+
+func newExactFloat() *Analyzer {
+	return &Analyzer{
+		Name: "exactfloat",
+		Doc: "forbids float64 leaking into geometric decisions in the exact-arithmetic packages: " +
+			"calls to rat.R.Float / geom.Point.Float and floating-point comparisons " +
+			"(the PR 7 gridCandidatePairs missed-intersection class)",
+		Paths: exactFloatPaths,
+		Run:   runExactFloat,
+	}
+}
+
+func runExactFloat(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := funcObj(info, n); fn != nil && exactFloatMethods[fn.FullName()] {
+					pass.Reportf(n.Pos(), "call to %s converts an exact rational to float64 in an exact-arithmetic package (non-monotone rounding at |x| ≳ 2^53)", fn.FullName())
+				}
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+					if floatOperand(info, n.X) || floatOperand(info, n.Y) {
+						pass.Reportf(n.Pos(), "floating-point comparison decides control flow in an exact-arithmetic package; compare exact rationals (rat.R.Cmp) instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func floatOperand(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isFloat(tv.Type)
+}

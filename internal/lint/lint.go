@@ -1,0 +1,151 @@
+// Package lint is a stdlib-only static-analysis framework for this module:
+// packages are enumerated and compiled through `go list -export`, each target
+// is type-checked from source with go/types against the toolchain's export
+// data, and a suite of repo-specific analyzers (exactfloat, lockdiscipline,
+// errwrap, determinism, metrichygiene) walks the typed ASTs reporting
+// file:line:col diagnostics.
+//
+// The suite encodes invariants this codebase has been bitten by or is
+// structurally exposed to — most prominently the PR 7 class, where a float64
+// approximation of an exact rational fed a geometric decision and silently
+// dropped true intersections (rat.Float is non-monotone at |x| ≳ 2^53).
+// Review vigilance does not scale with a hot exact-arithmetic codebase;
+// mechanical checks do.
+//
+// A finding is suppressed only by an explicit, reasoned directive placed on
+// the offending line, the line above it, or in the doc comment of the
+// enclosing function (which suppresses for the whole function):
+//
+//	//lint:allow <analyzer>(<reason>)
+//
+// A directive with no reason, or naming no known analyzer, is itself a
+// diagnostic — every escape hatch stays documented in place.
+//
+// cmd/topolint is the command-line driver; linttest runs analyzers over
+// fixture packages with `// want "regexp"` expectation comments.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding at a resolved source position.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check. Run is invoked once per matching package;
+// Finish, if set, is invoked once after every package has been visited, for
+// checks that need module-wide state (e.g. metric-name uniqueness). Analyzer
+// values carry per-run state in their closures, so obtain fresh instances
+// from Analyzers for every Run call.
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Paths restricts the analyzer to packages whose import path equals one
+	// of these prefixes or lives under one of them. Nil means every package.
+	Paths []string
+
+	Run    func(*Pass)
+	Finish func(report func(pos token.Position, format string, args ...any))
+}
+
+func (a *Analyzer) applies(pkgPath string) bool {
+	if len(a.Paths) == 0 {
+		return true
+	}
+	for _, p := range a.Paths {
+		if pkgPath == p || (len(pkgPath) > len(p) && pkgPath[:len(p)] == p && pkgPath[len(p)] == '/') {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass is the per-(analyzer, package) analysis context handed to Run.
+type Pass struct {
+	Pkg    *Package
+	report func(pos token.Position, format string, args ...any)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(p.Pkg.Fset.Position(pos), format, args...)
+}
+
+// Run executes every analyzer over every matching package, applies
+// //lint:allow suppressions, and returns the surviving diagnostics sorted by
+// position. Malformed directives are reported under the "directive" name.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var files []*ast.File
+	var fsets []*token.FileSet
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			files = append(files, f)
+			fsets = append(fsets, pkg.Fset)
+		}
+	}
+	sup, diags := indexDirectives(files, fsets, known)
+
+	collect := func(name string) func(pos token.Position, format string, args ...any) {
+		return func(pos token.Position, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Analyzer: name,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+	}
+	for _, a := range analyzers {
+		report := collect(a.Name)
+		for _, pkg := range pkgs {
+			if !a.applies(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, report: report})
+		}
+		if a.Finish != nil {
+			a.Finish(report)
+		}
+	}
+
+	out := diags[:0]
+	for _, d := range diags {
+		if !sup.allows(d) {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

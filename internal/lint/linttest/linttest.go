@@ -1,0 +1,149 @@
+// Package linttest runs lint analyzers over fixture packages and checks
+// their diagnostics against `// want "regexp"` expectation comments, pinning
+// each analyzer's positive and negative cases.
+//
+// A fixture is a directory of .go files (conventionally under
+// testdata/src/<analyzer>/) type-checked as if it lived at a caller-chosen
+// import path, so path-scoped analyzers (exactfloat, determinism) can be
+// exercised against testdata. Every line may carry any number of
+// expectations; each must match exactly one diagnostic reported on that
+// line, and every diagnostic must be expected.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one Loader per test binary, rooted at the enclosing
+// module, with the whole module's export data resolved so fixtures can
+// import repro/... packages.
+func sharedLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		dir, err := os.Getwd()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		for {
+			if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+				break
+			}
+			parent := filepath.Dir(dir)
+			if parent == dir {
+				loaderErr = fmt.Errorf("linttest: no go.mod above the test working directory")
+				return
+			}
+			dir = parent
+		}
+		loader = lint.NewLoader(dir)
+		_, loaderErr = loader.Load("./...")
+	})
+	if loaderErr != nil {
+		t.Fatalf("linttest: loading module: %v", loaderErr)
+	}
+	return loader
+}
+
+// LoadModule type-checks the whole module (the shared loader's ./... set)
+// for self-tests that assert the real tree is clean.
+func LoadModule(t *testing.T) []*lint.Package {
+	t.Helper()
+	l := sharedLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	return pkgs
+}
+
+// Run loads the fixture directory as a package at import path asPath, runs
+// the analyzer (suppressions applied), and verifies the diagnostics against
+// the fixture's // want comments. It returns the diagnostics for any extra
+// assertions.
+func Run(t *testing.T, fixtureDir, asPath string, a *lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir(fixtureDir, asPath)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+
+	type wantKey struct {
+		file string
+		line int
+	}
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range parseWant(t, pos, c.Text) {
+					wants[wantKey{pos.Filename, pos.Line}] = append(wants[wantKey{pos.Filename, pos.Line}], pat)
+				}
+			}
+		}
+	}
+
+	matched := make([]bool, len(diags))
+	for key, pats := range wants {
+		for _, pat := range pats {
+			found := false
+			for i, d := range diags {
+				if matched[i] || d.File != key.file || d.Line != key.line {
+					continue
+				}
+				if pat.MatchString(d.Message) {
+					matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, pat)
+			}
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Analyzer, d)
+		}
+	}
+	return diags
+}
+
+var wantRE = regexp.MustCompile(`// want((?: "(?:[^"\\]|\\.)*")+)\s*$`)
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWant extracts the expectation regexps from a `// want "..." "..."`
+// comment; a comment without the marker yields none.
+func parseWant(t *testing.T, pos token.Position, text string) []*regexp.Regexp {
+	m := wantRE.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	var pats []*regexp.Regexp
+	for _, am := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+		re, err := regexp.Compile(am[1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, am[1], err)
+		}
+		pats = append(pats, re)
+	}
+	return pats
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func newLockDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "lockdiscipline",
+		Doc: "a function that calls .Lock()/.RLock() must release the mutex on every path: " +
+			"either defer the unlock, or keep the critical section straight-line " +
+			"(branches that contain the unlock or a return are flagged)",
+		Run: runLockDiscipline,
+	}
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		stmtLists(f, func(list []ast.Stmt) {
+			for i, s := range list {
+				recv, read, ok := lockCall(pass.Pkg.Info, s)
+				if !ok {
+					continue
+				}
+				checkLockRelease(pass, s, recv, read, list[i+1:])
+			}
+		})
+	}
+}
+
+// checkLockRelease scans the statements following a Lock call and reports
+// when the matching unlock is neither deferred nor reached on a straight
+// line before any branching control flow.
+func checkLockRelease(pass *Pass, lock ast.Stmt, recv string, read bool, rest []ast.Stmt) {
+	unlock := "Unlock"
+	if read {
+		unlock = "RUnlock"
+	}
+	for _, s := range rest {
+		switch s := s.(type) {
+		case *ast.DeferStmt:
+			if r, ok := unlockCallExpr(s.Call, read); ok && r == recv {
+				return
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if r, ok := unlockCallExpr(call, read); ok && r == recv {
+					return // straight-line critical section
+				}
+			}
+		case *ast.ReturnStmt:
+			pass.Reportf(lock.Pos(), "%s.%s is followed by a return before %s.%s; defer the unlock", recv, lockName(read), recv, unlock)
+			return
+		case *ast.BranchStmt:
+			pass.Reportf(lock.Pos(), "%s.%s is followed by a %s before %s.%s; defer the unlock", recv, lockName(read), s.Tok, recv, unlock)
+			return
+		default:
+			if branchesWithUnlockOrReturn(s, recv, read) {
+				pass.Reportf(lock.Pos(), "%s.%s is released inside branching control flow, so not on every path; defer %s.%s or restructure", recv, lockName(read), recv, unlock)
+				return
+			}
+		}
+	}
+	pass.Reportf(lock.Pos(), "%s.%s is not released in this statement list; defer %s.%s or annotate the hand-off", recv, lockName(read), recv, unlock)
+}
+
+func lockName(read bool) string {
+	if read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// lockCall matches `recv.Lock()` / `recv.RLock()` expression statements,
+// returning the printed receiver expression.
+func lockCall(info *types.Info, s ast.Stmt) (recv string, read bool, ok bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return "", false, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		read = false
+	case "RLock":
+		read = true
+	default:
+		return "", false, false
+	}
+	if fn, _ := info.Uses[sel.Sel].(*types.Func); fn == nil {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), read, true
+}
+
+// unlockCallExpr matches `recv.Unlock()` / `recv.RUnlock()` calls.
+func unlockCallExpr(call *ast.CallExpr, read bool) (recv string, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK || len(call.Args) != 0 {
+		return "", false
+	}
+	want := "Unlock"
+	if read {
+		want = "RUnlock"
+	}
+	if sel.Sel.Name != want {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// branchesWithUnlockOrReturn reports whether the statement is a compound
+// control-flow construct that hides a matching unlock or a return somewhere
+// inside it — the "unlock spans branches" shape. Purely computational
+// branches (no unlock, no return) are tolerated between a lock and its
+// straight-line unlock. Function literals start a new frame and are skipped.
+func branchesWithUnlockOrReturn(s ast.Stmt, recv string, read bool) bool {
+	switch s.(type) {
+	case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+		*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt, *ast.LabeledStmt:
+	default:
+		return false
+	}
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.CallExpr:
+			if r, ok := unlockCallExpr(n, read); ok && r == recv {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

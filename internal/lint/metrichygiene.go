@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// metricRegistration maps each obs.Registry registration method to the
+// index of its first label argument (-1 when the method takes no labels).
+var metricRegistration = map[string]int{
+	"Counter":      -1,
+	"Gauge":        -1,
+	"GaugeFunc":    -1,
+	"Histogram":    -1,
+	"CounterVec":   2,
+	"GaugeVec":     2,
+	"HistogramVec": 3,
+}
+
+var snakeRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func newMetricHygiene() *Analyzer {
+	state := make(map[string][]token.Position) // metric name -> registration sites
+	a := &Analyzer{
+		Name: "metrichygiene",
+		Doc: "obs metric registrations must use constant snake_case names and label sets, " +
+			"a nonempty help string, and each name must be registered at exactly one site " +
+			"module-wide (idempotent re-registration hides drifting help/kind)",
+	}
+	a.Run = func(pass *Pass) { runMetricHygiene(pass, state) }
+	a.Finish = func(report func(pos token.Position, format string, args ...any)) {
+		for name, sites := range state {
+			if len(sites) < 2 {
+				continue
+			}
+			for _, pos := range sites {
+				report(pos, "metric %q is registered at %d sites; register once and share the instrument", name, len(sites))
+			}
+		}
+	}
+	return a
+}
+
+func runMetricHygiene(pass *Pass, state map[string][]token.Position) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(info, call)
+			if fn == nil {
+				return true
+			}
+			labelStart, ok := metricRegistration[fn.Name()]
+			if !ok || !strings.HasPrefix(fn.FullName(), "(*repro/internal/obs.Registry).") {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			name, isConst := constString(info, call.Args[0])
+			if !isConst {
+				pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time string constant")
+			} else {
+				if !snakeRE.MatchString(name) {
+					pass.Reportf(call.Args[0].Pos(), "metric name %q is not snake_case ([a-z0-9_], no leading/trailing/double underscores)", name)
+				}
+				state[name] = append(state[name], pass.Pkg.Fset.Position(call.Args[0].Pos()))
+			}
+			if help, isConst := constString(info, call.Args[1]); isConst && strings.TrimSpace(help) == "" {
+				pass.Reportf(call.Args[1].Pos(), "metric help string must not be empty")
+			}
+			if labelStart < 0 {
+				return true
+			}
+			if call.Ellipsis.IsValid() {
+				pass.Reportf(call.Ellipsis, "label set must be spelled as string literals, not expanded from a slice")
+				return true
+			}
+			for _, arg := range call.Args[labelStart:] {
+				label, isConst := constString(info, arg)
+				if !isConst {
+					pass.Reportf(arg.Pos(), "metric label must be a compile-time string constant")
+					continue
+				}
+				if !snakeRE.MatchString(label) {
+					pass.Reportf(arg.Pos(), "metric label %q is not snake_case", label)
+				}
+			}
+			return true
+		})
+	}
+}

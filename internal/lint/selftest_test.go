@@ -1,0 +1,54 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestModuleClean is the acceptance gate CI re-runs via cmd/topolint: the
+// full analyzer suite over the real module must report nothing.  Every
+// tolerated finding is expected to carry an in-place //lint:allow directive
+// with its reason, so a diagnostic here means either a genuine new instance
+// of a known bug class or an undocumented escape hatch.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module")
+	}
+	pkgs := linttest.LoadModule(t)
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; module enumeration is broken", len(pkgs))
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("topolint reports %d diagnostic(s) on the module; fix them or add a reasoned //lint:allow", len(diags))
+	}
+}
+
+// TestAnalyzerCatalogue pins the suite's composition: the five analyzers the
+// repo documents, each with a doc string.
+func TestAnalyzerCatalogue(t *testing.T) {
+	want := []string{"exactfloat", "lockdiscipline", "errwrap", "determinism", "metrichygiene"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName should return nil for unknown analyzers")
+	}
+}

@@ -1,0 +1,77 @@
+// Package fixture exercises determinism: canonical/content-addressed
+// packages must not let time, randomness, or map iteration order reach
+// their output.
+package fixture
+
+import (
+	"sort"
+	"time"
+)
+
+// stamp puts wall-clock time into output destined for content addressing.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a canonical package"
+}
+
+// encodeKeys writes map keys in iteration order — different bytes per run.
+func encodeKeys(m map[string]int) []byte {
+	var out []byte
+	for k := range m { // want "map iteration order can reach the output"
+		out = append(out, k...)
+	}
+	return out
+}
+
+// collectThenSort is the accepted shape: append keys, sort immediately.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// copyMap is accepted: insertion order never matters for a map.
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// normaliseValues is accepted: each entry is canonicalised independently.
+func normaliseValues(m map[int][]string) {
+	for _, names := range m {
+		sort.Strings(names)
+	}
+}
+
+// collectNoSort gathers keys but never sorts them before use.
+func collectNoSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "map iteration order can reach the output"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// annotated documents an order-independent fold.
+func annotated(m map[string]int) int {
+	total := 0
+	//lint:allow determinism(integer addition commutes; the sum is order-independent)
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRange stays clean: slices iterate deterministically.
+func sliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import (
+	"math/rand" // want "import of math/rand in a canonical package"
+)
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,33 @@
+// Package fixture exercises the //lint:allow directive machinery itself:
+// malformed directives are diagnostics, well-formed ones suppress on their
+// own line, the next line, or the whole enclosing function when placed in
+// its doc comment.
+package fixture
+
+import (
+	"fmt"
+)
+
+func unsuppressed(err error) error {
+	return fmt.Errorf("x: %v", err) // want "formatted with %v"
+}
+
+func sameLine(err error) error {
+	return fmt.Errorf("x: %v", err) //lint:allow errwrap(suppressed on its own line)
+}
+
+func lineAbove(err error) error {
+	//lint:allow errwrap(suppressed from the line above)
+	return fmt.Errorf("x: %v", err)
+}
+
+//lint:allow errwrap(whole function: legacy formatting kept verbatim for both returns)
+func wholeFunction(err1, err2 error) (error, error) {
+	a := fmt.Errorf("first: %v", err1)
+	b := fmt.Errorf("second: %v", err2)
+	return a, b
+}
+
+func afterTheFunction(err error) error {
+	return fmt.Errorf("scope must have ended: %v", err) // want "formatted with %v"
+}

@@ -1,0 +1,56 @@
+// Package fixture exercises errwrap: fmt.Errorf must wrap error operands
+// with %w so callers can errors.Is/As the cause.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func unwrapped(err error) error {
+	return fmt.Errorf("load failed: %v", err) // want "formatted with %v"
+}
+
+func unwrappedString(err error) error {
+	return fmt.Errorf("load failed: %s", err) // want "formatted with %s"
+}
+
+func mixed(path string, err error) error {
+	return fmt.Errorf("open %q at step %d: %v", path, 3, err) // want "formatted with %v"
+}
+
+func twoErrors(err, terr error) error {
+	return fmt.Errorf("append failed (%v) and truncate failed: %w", err, terr) // want "formatted with %v"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+func bothWrapped(err, terr error) error {
+	return fmt.Errorf("append failed (%w) and truncate failed: %w", err, terr)
+}
+
+func nonError(path string) error {
+	return fmt.Errorf("open %v: code %d", path, 5)
+}
+
+func widthAndPrecision(x float64, err error) error {
+	return fmt.Errorf("at %*.*f: %v", 8, 3, x, err) // want "formatted with %v"
+}
+
+func typeVerb(err error) error {
+	return fmt.Errorf("unexpected %T", err)
+}
+
+func opaque() error {
+	//lint:allow errwrap(deliberately opaque: callers must not depend on the cause)
+	return fmt.Errorf("internal failure: %v", os.ErrClosed)
+}
+
+func checkSentinel(err error) bool {
+	return errors.Is(err, errSentinel)
+}

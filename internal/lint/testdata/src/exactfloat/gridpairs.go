@@ -1,0 +1,43 @@
+// Package fixture reconstructs the PR 7 bug class: the deleted
+// gridCandidatePairs bucketed exact-rational segments into a float64 grid
+// and compared padded float bounds to decide which pairs could intersect.
+// rat.Float rounds numerator and denominator independently, so it is
+// non-monotone — at |x| ≳ 2^53 two exact rationals can float 2.0 apart in
+// the wrong order and the pad never recovers the dropped pair.  Every float
+// escape and every float comparison below must trip exactfloat.
+package fixture
+
+import (
+	"repro/internal/geom"
+)
+
+type floatBox struct {
+	minX, maxX, minY, maxY float64
+}
+
+// gridCandidatePairs is the shape of the deleted PR 7 pair finder.
+func gridCandidatePairs(segs []geom.Segment, pad float64) [][2]int {
+	boxes := make([]floatBox, len(segs))
+	for i, s := range segs {
+		ax, ay := s.A.Float() // want "converts an exact rational to float64"
+		bx, by := s.B.Float() // want "converts an exact rational to float64"
+		b := floatBox{minX: ax, maxX: bx, minY: ay, maxY: by}
+		if b.minX > b.maxX { // want "floating-point comparison"
+			b.minX, b.maxX = b.maxX, b.minX
+		}
+		if b.minY > b.maxY { // want "floating-point comparison"
+			b.minY, b.maxY = b.maxY, b.minY
+		}
+		boxes[i] = b
+	}
+	var out [][2]int
+	for i := range boxes {
+		for j := i + 1; j < len(boxes); j++ {
+			a, b := boxes[i], boxes[j]
+			if a.minX-pad <= b.maxX && b.minX <= a.maxX+pad { // want "floating-point comparison" "floating-point comparison"
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package fixture
+
+import (
+	"repro/internal/geom"
+)
+
+// exactPairs decides candidacy with exact rational comparisons — the shape
+// that replaced gridCandidatePairs.  Nothing here may be reported.
+func exactPairs(segs []geom.Segment) [][2]int {
+	var out [][2]int
+	for i := range segs {
+		for j := i + 1; j < len(segs); j++ {
+			if overlapExact(segs[i], segs[j]) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+func overlapExact(a, b geom.Segment) bool {
+	return a.A.X.Cmp(b.B.X) <= 0 && b.A.X.Cmp(a.B.X) <= 0
+}
+
+// intDecisions shows non-float arithmetic and comparison staying clean.
+func intDecisions(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			total += i
+		}
+	}
+	return total
+}
+
+// renderStats is an annotated, documented escape: float64 for reporting.
+func renderStats(p geom.Point) (float64, float64) {
+	//lint:allow exactfloat(rendering-only conversion pinned by the suppression fixture)
+	x, y := p.Float()
+	return x, y
+}

@@ -1,0 +1,102 @@
+// Package fixture exercises lockdiscipline: every way a critical section can
+// fail to release on all paths, next to every accepted discipline.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// deferred is the canonical discipline.
+func (c *counter) deferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// straightLine is accepted: no branching between lock and unlock.
+func (c *counter) straightLine() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// benignBranch is accepted: the branch between lock and unlock neither
+// returns nor unlocks.
+func (c *counter) benignBranch(reset bool) {
+	c.mu.Lock()
+	if reset {
+		c.n = 0
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// earlyReturn holds the lock across a return.
+func (c *counter) earlyReturn(limit int) int {
+	c.mu.Lock() // want "followed by a return"
+	if false {
+		_ = limit
+	}
+	return c.n
+}
+
+// branchedUnlock releases on each path by hand — exactly the fragile shape
+// that rots when a new early return lands.
+func (c *counter) branchedUnlock(limit int) int {
+	c.mu.Lock() // want "released inside branching control flow"
+	if c.n > limit {
+		c.mu.Unlock()
+		return limit
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// handOff never releases in this list at all.
+func (c *counter) handOff() {
+	c.mu.Lock() // want "not released in this statement list"
+	c.n++
+}
+
+// readLocked pairs RLock with RUnlock; mismatched pairs are not a release.
+func (t *table) readLocked(k string) int {
+	t.mu.RLock() // want "released inside branching control flow"
+	v, ok := t.m[k]
+	if !ok {
+		t.mu.RUnlock()
+		return -1
+	}
+	t.mu.RUnlock()
+	return v
+}
+
+// deferredRead is the accepted read-side discipline.
+func (t *table) deferredRead(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// annotated documents a deliberate early-release pattern.
+func (c *counter) annotated(limit int) int {
+	//lint:allow lockdiscipline(fixture pin: the suppression must silence the finding on the next line)
+	c.mu.Lock()
+	if c.n > limit {
+		c.mu.Unlock()
+		return limit
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}

@@ -1,0 +1,52 @@
+// Package fixture exercises metrichygiene: obs registrations need constant
+// snake_case names and labels, nonempty help, and one site per name.
+package fixture
+
+import (
+	"repro/internal/obs"
+)
+
+var dynamicName = "topo_dynamic_name"
+
+var (
+	mGood = obs.Default.Counter(
+		"topo_fixture_requests_total",
+		"Requests handled by the fixture.")
+	mGoodVec = obs.Default.CounterVec(
+		"topo_fixture_errors_total",
+		"Errors by class.",
+		"status_class")
+
+	mCamel = obs.Default.Counter(
+		"topoFixtureBadName", // want "not snake_case"
+		"Camel-case metric name.")
+	mTrailing = obs.Default.Gauge(
+		"topo_fixture_bad_", // want "not snake_case"
+		"Trailing underscore.")
+	mDynamic = obs.Default.Counter(
+		dynamicName, // want "must be a compile-time string constant"
+		"Computed name.")
+	mNoHelp = obs.Default.Counter(
+		"topo_fixture_undocumented_total",
+		"") // want "help string must not be empty"
+	mBadLabel = obs.Default.CounterVec(
+		"topo_fixture_labeled_total",
+		"Labeled counter.",
+		"statusClass") // want "not snake_case"
+
+	mDupA = obs.Default.Counter(
+		"topo_fixture_duplicate_total", // want "registered at 2 sites"
+		"First registration.")
+)
+
+func register(extra []string) {
+	obs.Default.Counter(
+		"topo_fixture_duplicate_total", // want "registered at 2 sites"
+		"Second registration of the same name.")
+	obs.Default.GaugeVec(
+		"topo_fixture_dynamic_labels",
+		"Labels from a slice.",
+		extra...) // want "spelled as string literals"
+}
+
+var _ = []any{mGood, mGoodVec, mCamel, mTrailing, mDynamic, mNoHelp, mBadLabel, mDupA}

@@ -20,7 +20,7 @@ func acquireDirLock(path string) (*os.File, error) {
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("already open in another process (flock: %w)", err)
+		return nil, fmt.Errorf("%w (flock: %w)", ErrBusy, err)
 	}
 	return f, nil
 }

@@ -35,6 +35,7 @@ package store
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -47,6 +48,17 @@ import (
 
 // ManifestVersion is the store's on-disk format version.
 const ManifestVersion = 1
+
+// Sentinel errors, matchable with errors.Is through every wrapping layer
+// (store → engine → serve).
+var (
+	// ErrBusy reports an Open of a directory whose advisory lock another
+	// live process holds.
+	ErrBusy = errors.New("store directory already open in another process")
+	// ErrPoisoned reports a write to a shard whose log this process can no
+	// longer trust (a failed append that could not be rolled back).
+	ErrPoisoned = errors.New("shard write path poisoned")
+)
 
 const (
 	manifestName = "MANIFEST.json"
@@ -315,7 +327,7 @@ func (s *Store) put(key string, val []byte, replace bool) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if sh.appendErr != nil {
-		return fmt.Errorf("store: shard write path poisoned: %w", sh.appendErr)
+		return fmt.Errorf("store: %w: %w", ErrPoisoned, sh.appendErr)
 	}
 	_, present := sh.index[key]
 	if present && !replace {
@@ -326,14 +338,14 @@ func (s *Store) put(key string, val []byte, replace bool) error {
 		// later offset: roll the log back to the last good size, or stop
 		// accepting writes if even that fails.
 		if terr := sh.f.Truncate(sh.size); terr != nil {
-			sh.appendErr = fmt.Errorf("append failed (%v) and truncate failed: %w", err, terr)
+			sh.appendErr = fmt.Errorf("append failed (%w) and truncate failed: %w", err, terr)
 		}
 		return fmt.Errorf("store: append %s: %w", key, err)
 	}
 	if s.fsync {
 		if err := sh.f.Sync(); err != nil {
 			if terr := sh.f.Truncate(sh.size); terr != nil {
-				sh.appendErr = fmt.Errorf("fsync failed (%v) and truncate failed: %w", err, terr)
+				sh.appendErr = fmt.Errorf("fsync failed (%w) and truncate failed: %w", err, terr)
 			}
 			return fmt.Errorf("store: fsync: %w", err)
 		}
@@ -443,12 +455,12 @@ func (s *Store) Compact() error {
 // Close syncs, writes the final manifest and releases all file handles.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil
-	}
+	alreadyClosed := s.closed
 	s.closed = true
 	s.mu.Unlock()
+	if alreadyClosed {
+		return nil
+	}
 	err := s.Sync()
 	keys, bytes := int64(0), int64(0)
 	for _, sh := range s.shards {
@@ -495,16 +507,13 @@ func (s *Store) writeManifestLocked(skip map[string]bool) error {
 		if skip[prefix] {
 			continue
 		}
-		sh.mu.Lock()
-		if err := sh.f.Sync(); err != nil {
-			sh.mu.Unlock()
+		meta, err := sh.manifestMeta()
+		if err != nil {
 			return fmt.Errorf("store: sync shard %s: %w", prefix, err)
 		}
-		mFsyncs.Inc()
-		if sh.size > 0 || sh.records > 0 {
-			man.Shards[prefix] = shardMeta{Size: sh.size, CRC: sh.crc, Records: sh.records, Live: len(sh.index)}
+		if meta.Size > 0 || meta.Records > 0 {
+			man.Shards[prefix] = meta
 		}
-		sh.mu.Unlock()
 	}
 	data, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
@@ -651,6 +660,20 @@ func decodeRecord(data []byte, off int64) (key string, loc recordLoc, next int64
 	}
 	valOff := off + 4 + int64(keyEnd+m)
 	return key, recordLoc{valOff: valOff, valLen: int(valLen)}, off + 4 + int64(bodyLen), nil
+}
+
+// manifestMeta fsyncs the shard log and snapshots its size/CRC under the
+// shard mutex.  The single critical section matters: if a concurrent Put
+// could slip between the fsync and the snapshot, the manifest would record
+// bytes that may never reach disk.
+func (sh *shard) manifestMeta() (shardMeta, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.f.Sync(); err != nil {
+		return shardMeta{}, err
+	}
+	mFsyncs.Inc()
+	return shardMeta{Size: sh.size, CRC: sh.crc, Records: sh.records, Live: len(sh.index)}, nil
 }
 
 // compact rewrites the shard with one record per live key and swaps it in

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -362,6 +364,8 @@ func TestOpenLocksDirectory(t *testing.T) {
 	}
 	if _, err := Open(dir); err == nil {
 		t.Fatal("second Open of a live store directory succeeded")
+	} else if !errors.Is(err, ErrBusy) {
+		t.Fatalf("second Open = %v, want errors.Is(err, ErrBusy)", err)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
@@ -371,6 +375,41 @@ func TestOpenLocksDirectory(t *testing.T) {
 		t.Fatalf("Open after Close: %v", err)
 	}
 	s2.Close()
+}
+
+// TestPoisonedShardSentinel: once a shard's write path is poisoned, every
+// later Put must fail with an error matchable as ErrPoisoned through the
+// wrapping layers — the signal callers use to stop retrying against this
+// process and recompute elsewhere.
+func TestPoisonedShardSentinel(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	k := testKey(1)
+	sh, err := s.shardFor(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.mu.Lock()
+	sh.appendErr = errors.New("injected: append failed and truncate failed")
+	sh.mu.Unlock()
+	err = s.Put(k, []byte("v"))
+	if err == nil {
+		t.Fatal("Put on a poisoned shard succeeded")
+	}
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Put = %v, want errors.Is(err, ErrPoisoned)", err)
+	}
+	if errors.Is(err, ErrBusy) {
+		t.Fatal("poisoned-shard error must not match ErrBusy")
+	}
+	// The injected cause stays reachable through the sentinel wrapping.
+	if !strings.Contains(err.Error(), "injected: append failed") {
+		t.Fatalf("Put = %v, want the poisoning cause in the chain", err)
+	}
 }
 
 // TestManifestWrittenAtCreation: the fan-out must be recorded before any
