@@ -356,6 +356,142 @@ func BenchmarkAblationIntersection(b *testing.B) {
 	})
 }
 
+// depthQuery builds an alternating-quantifier sentence of the given
+// quantifier depth over two region names: ∃v0, ∀v1, ∃v2, … with membership
+// atoms per variable and order atoms linking consecutive variables.  The
+// innermost condition demands an interior point that is not in its region,
+// so the sentence is unsatisfiable: evaluation can never stop early on a
+// lucky witness, and the benchmark pins the exhaustive worst case the
+// server's depth cap guards against.
+func depthQuery(a, c string, depth int) topoinv.Query {
+	var rest func(i int) pointfo.PointFormula
+	rest = func(i int) pointfo.PointFormula {
+		if i == depth {
+			last := fmt.Sprintf("v%d", depth-1)
+			return pointfo.PAnd{Fs: []pointfo.PointFormula{
+				pointfo.InInterior{Region: a, Var: last},
+				pointfo.PNot{F: pointfo.In{Region: a, Var: last}},
+			}}
+		}
+		v := fmt.Sprintf("v%d", i)
+		memb := pointfo.PointFormula(pointfo.In{Region: a, Var: v})
+		if i%2 == 1 {
+			memb = pointfo.In{Region: c, Var: v}
+		}
+		atoms := []pointfo.PointFormula{memb}
+		if i > 0 {
+			prev := fmt.Sprintf("v%d", i-1)
+			if i%2 == 0 {
+				atoms = append(atoms, pointfo.LessX{L: prev, R: v})
+			} else {
+				atoms = append(atoms, pointfo.LessY{L: v, R: prev})
+			}
+		}
+		if i%2 == 0 {
+			return pointfo.PExists{Vars: []string{v}, Body: pointfo.PAnd{Fs: append(atoms, rest(i+1))}}
+		}
+		return pointfo.PForall{Vars: []string{v}, Body: pointfo.PImplies{L: pointfo.PAnd{Fs: atoms}, R: rest(i + 1)}}
+	}
+	return rest(0)
+}
+
+// BenchmarkEvalDepth pins the quantifier-depth scaling of sentence
+// evaluation on the E1 and E3 workloads: the compiled bitset evaluator
+// (membership matrix + word-parallel quantifier plans) against the tree-walk
+// reference that re-asks the geometry per atom.  The tree walk is O(n^depth)
+// point tuples with exact-rational containment tests per atom, so it only
+// runs to depth 3; compiled runs the full 1–4 range the server now admits.
+func BenchmarkEvalDepth(b *testing.B) {
+	// Region pairs are picked from classes that actually own parcels at
+	// these scales (e.g. E1 scale 1 spreads 8 parcels over 9 classes, so
+	// some classes are empty and would short-circuit every quantifier).
+	workloads := []struct {
+		name string
+		a, c string
+		mk   func() (*topoinv.Instance, error)
+	}{
+		{"E1", "class07", "class04", func() (*topoinv.Instance, error) { return topoinv.LandUse(topoinv.DefaultLandUse(1)) }},
+		{"E3", "class00", "class01", func() (*topoinv.Instance, error) { return topoinv.Commune(topoinv.DefaultCommune(1)) }},
+	}
+	for _, w := range workloads {
+		inst, err := w.mk()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev, err := pointfo.NewEvaluator(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ce, err := pointfo.CompileEvaluator(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for depth := 1; depth <= 4; depth++ {
+			q := depthQuery(w.a, w.c, depth)
+			b.Run(fmt.Sprintf("%s/depth=%d/compiled", w.name, depth), func(b *testing.B) {
+				b.ReportMetric(float64(ce.SampleSize()), "sample-points")
+				for i := 0; i < b.N; i++ {
+					if _, err := ce.EvalPoint(q, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if depth > 3 {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/depth=%d/tree", w.name, depth), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ev.EvalPoint(q, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDirectAskCachedEvaluator measures Direct asks through the engine
+// with the Boolean answer cache deliberately thrashed (capacity 16, 64
+// distinct formulas round-robin), so every ask re-evaluates its sentence —
+// but against the compiled evaluator from the engine's evaluator cache
+// rather than one rebuilt from geometry per ask.
+func BenchmarkDirectAskCachedEvaluator(b *testing.B) {
+	inst, err := topoinv.LandUse(topoinv.DefaultLandUse(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 64 distinct sentences over the populated classes (02–08 at scale 1):
+	// 49 ordered pairs at depth 2, then 15 more at depth 3.
+	queries := make([]topoinv.Query, 64)
+	for i := range queries {
+		depth, j := 2, i
+		if j >= 49 {
+			depth, j = 3, j-49
+		}
+		a := fmt.Sprintf("class%02d", 2+j/7)
+		c := fmt.Sprintf("class%02d", 2+j%7)
+		queries[i] = depthQuery(a, c, depth)
+	}
+	eng := topoinv.NewEngine(topoinv.WithAnswerCapacity(16))
+	// Prime the evaluator cache with a query outside the timed rotation, so
+	// every timed ask misses the answer cache but hits the evaluator cache.
+	if _, err := eng.Ask(inst, depthQuery("class02", "class05", 4), topoinv.Direct); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Ask(inst, queries[i%len(queries)], topoinv.Direct); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stats := eng.Stats()
+	if stats.EvalHits == 0 {
+		b.Fatal("no evaluator-cache hits; Direct asks are rebuilding evaluators")
+	}
+	b.ReportMetric(float64(stats.EvalHits), "eval-hits")
+}
+
 // BenchmarkAblationIso compares invariant isomorphism via canonical codes
 // against the backtracking search.
 func BenchmarkAblationIso(b *testing.B) {

@@ -20,8 +20,8 @@ import (
 )
 
 // The loadgen subcommand drives a running topoinv server with a steady mix
-// of ask / batch / import traffic at a target QPS and reports throughput and
-// client-side latency percentiles.  Latencies are aggregated with the same
+// of ask / batch / import / deepask traffic at a target QPS and reports
+// throughput and client-side latency percentiles.  Latencies are aggregated with the same
 // fixed-bucket histogram the server's /metrics instruments use, so the
 // numbers are directly comparable with the server-side view, and the JSON
 // report (-o) matches the benchjson shape CI archives as BENCH_*.json.
@@ -33,20 +33,23 @@ type loadConfig struct {
 	workers   int
 	workload  string
 	scale     int
-	mix       [3]int // ask : batch : import weights
+	mix       [opKinds]int // ask : batch : import : deepask weights
 	batchSize int
 	seed      int64
 }
 
-// op kinds, indexed by the mix weights.
+// op kinds, indexed by the mix weights.  deepask sends quantifier-depth ≥ 3
+// sentences — the traffic class the compiled bitset evaluator exists for —
+// so the report separates cheap alias asks from the planner-heavy path.
 const (
 	opAsk = iota
 	opBatch
 	opImport
+	opDeepAsk
 	opKinds
 )
 
-var opNames = [opKinds]string{"ask", "batch", "import"}
+var opNames = [opKinds]string{"ask", "batch", "import", "deepask"}
 
 // kindStats aggregates one op kind's client-side observations.  The
 // histogram is a standalone obs histogram — the same bucket layout and
@@ -81,7 +84,7 @@ func runLoadgen(args []string) {
 	workers := fs.Int("workers", 8, "concurrent client workers")
 	workloadName := fs.String("workload", "nested", "workload backing the generated traffic")
 	scale := fs.Int("scale", 2, "workload scale factor")
-	mix := fs.String("mix", "8:1:1", "ask:batch:import traffic weights")
+	mix := fs.String("mix", "7:1:1:1", "ask:batch:import:deepask traffic weights (three parts leave deepask at 0)")
 	batchSize := fs.Int("batch-size", 8, "queries per batch request")
 	seed := fs.Int64("seed", 1, "PRNG seed for query selection")
 	out := fs.String("o", "", "write a benchjson-compatible JSON report to this file")
@@ -120,25 +123,36 @@ func runLoadgen(args []string) {
 	}
 }
 
-func parseMix(s string) ([3]int, error) {
+// parseMix parses the traffic weights.  Three parts are accepted for
+// back-compatibility with pre-deepask invocations and leave deepask at 0.
+func parseMix(s string) ([opKinds]int, error) {
 	parts := strings.Split(s, ":")
-	if len(parts) != 3 {
-		return [3]int{}, fmt.Errorf("bad mix %q (want ask:batch:import, e.g. 8:1:1)", s)
+	if len(parts) != opKinds && len(parts) != opKinds-1 {
+		return [opKinds]int{}, fmt.Errorf("bad mix %q (want ask:batch:import:deepask, e.g. 7:1:1:1)", s)
 	}
-	var w [3]int
+	var w [opKinds]int
 	total := 0
 	for i, p := range parts {
 		n, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil || n < 0 {
-			return [3]int{}, fmt.Errorf("bad mix weight %q", p)
+			return [opKinds]int{}, fmt.Errorf("bad mix weight %q", p)
 		}
 		w[i] = n
 		total += n
 	}
 	if total == 0 {
-		return [3]int{}, fmt.Errorf("mix %q has no traffic", s)
+		return [opKinds]int{}, fmt.Errorf("mix %q has no traffic", s)
 	}
 	return w, nil
+}
+
+// mixString renders the weights in flag syntax for reports and summaries.
+func mixString(mix [opKinds]int) string {
+	parts := make([]string, len(mix))
+	for i, w := range mix {
+		parts[i] = strconv.Itoa(w)
+	}
+	return strings.Join(parts, ":")
 }
 
 // runLoad drives the configured load and returns the benchjson report plus a
@@ -175,11 +189,19 @@ func runLoad(cfg loadConfig) (*loadReportJSON, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	deepBodies, err := buildDeepAskBodies(inst, id)
+	if err != nil {
+		return nil, "", err
+	}
 
 	// The op schedule interleaves the mix proportionally (largest-remainder
-	// order, 8:1:1 → a 10-op cycle with batch and import spread through it),
-	// so the blend holds even for runs short enough to see only one cycle.
-	total := cfg.mix[0] + cfg.mix[1] + cfg.mix[2]
+	// order, 7:1:1:1 → a 10-op cycle with batch, import and deepask spread
+	// through it), so the blend holds even for runs short enough to see only
+	// one cycle.
+	total := 0
+	for _, w := range cfg.mix {
+		total += w
+	}
 	schedule := make([]int, 0, total)
 	var acc [opKinds]float64
 	for i := 0; i < total; i++ {
@@ -245,6 +267,8 @@ func runLoad(cfg loadConfig) (*loadReportJSON, string, error) {
 					path, body = "/v1/batch", batchBody
 				case opImport:
 					path, body = "/v1/instances", loadBody
+				case opDeepAsk:
+					path, body = "/v1/ask", deepBodies[rng.Intn(len(deepBodies))]
 				}
 				t0 := time.Now()
 				ok := doPost(client, cfg.addr+path, body)
@@ -319,6 +343,47 @@ func buildAskBodies(inst *topoinv.Instance, id string) ([][]byte, error) {
 	return bodies, nil
 }
 
+// buildDeepAskBodies pre-marshals quantifier-depth ≥ 3 sentences over the
+// instance's region names.  Each template is parsed and depth-checked at
+// build time so a template typo fails the run up front instead of counting
+// as server-side errors.
+func buildDeepAskBodies(inst *topoinv.Instance, id string) ([][]byte, error) {
+	names := inst.SortedNames()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("workload has no regions")
+	}
+	// %[1]s and %[2]s are quoted region names.
+	templates := []string{
+		// Depth 3: an interior point of %[1]s lies x-between two %[2]s points.
+		`exists u . exists v . exists w . interior(%[1]s, u) and in(%[2]s, v) and in(%[2]s, w) and v <x u and u <x w`,
+		// Depth 3 with alternation: every boundary point of %[1]s has a %[2]s
+		// point below it and another to its right.
+		`forall u . (in(%[1]s, u) and not interior(%[1]s, u)) implies (exists v . exists w . in(%[2]s, v) and in(%[2]s, w) and v <y u and u <x w)`,
+		// Depth 4: alternating block shape stressing the quantifier planner.
+		`exists u . exists v . forall w . exists z . (in(%[1]s, u) and in(%[1]s, v) and not u = v) implies (interior(%[2]s, w) implies (in(%[1]s, z) and w <y z))`,
+	}
+	var bodies [][]byte
+	for i := range names {
+		a, b := names[i], names[(i+1)%len(names)]
+		for _, tpl := range templates {
+			formula := fmt.Sprintf(tpl, strconv.Quote(a), strconv.Quote(b))
+			q, err := topoinv.ParseQuery(formula)
+			if err != nil {
+				return nil, fmt.Errorf("deep ask template: %w", err)
+			}
+			if d := topoinv.QueryDepth(q.Formula); d < 3 {
+				return nil, fmt.Errorf("deep ask template has quantifier depth %d, want >= 3: %s", d, formula)
+			}
+			body, err := json.Marshal(map[string]string{"id": id, "formula": formula, "strategy": "auto"})
+			if err != nil {
+				return nil, err
+			}
+			bodies = append(bodies, body)
+		}
+	}
+	return bodies, nil
+}
+
 func buildBatchBody(askBodies [][]byte, size int) ([]byte, error) {
 	reqs := make([]json.RawMessage, 0, size)
 	for i := 0; i < size; i++ {
@@ -348,14 +413,14 @@ func buildLoadReport(cfg loadConfig, stats []kindStats, overall *topoinv.Metrics
 	var sb strings.Builder
 	total := overall.Count()
 	achieved := float64(total) / elapsed.Seconds()
-	fmt.Fprintf(&sb, "loadgen: %s for %s at target %.0f qps (mix ask:batch:import = %d:%d:%d, %d workers)\n",
-		cfg.workload, elapsed.Round(time.Millisecond), cfg.qps, cfg.mix[0], cfg.mix[1], cfg.mix[2], cfg.workers)
+	fmt.Fprintf(&sb, "loadgen: %s for %s at target %.0f qps (mix ask:batch:import:deepask = %s, %d workers)\n",
+		cfg.workload, elapsed.Round(time.Millisecond), cfg.qps, mixString(cfg.mix), cfg.workers)
 	fmt.Fprintf(&sb, "loadgen: %d requests, %.1f achieved qps\n", total, achieved)
 
 	rep := &loadReportJSON{Context: []string{
-		fmt.Sprintf("loadgen: addr=%s workload=%s scale=%d qps=%.0f duration=%s workers=%d mix=%d:%d:%d batch-size=%d",
+		fmt.Sprintf("loadgen: addr=%s workload=%s scale=%d qps=%.0f duration=%s workers=%d mix=%s batch-size=%d",
 			cfg.addr, cfg.workload, cfg.scale, cfg.qps, cfg.duration, cfg.workers,
-			cfg.mix[0], cfg.mix[1], cfg.mix[2], cfg.batchSize),
+			mixString(cfg.mix), cfg.batchSize),
 	}}
 
 	emit := func(name string, h *topoinv.MetricsHistogram, count, errs uint64, qps float64) {

@@ -89,6 +89,7 @@ func runServe(args []string) {
 	addr := fs.String("addr", ":8080", "listen address")
 	cacheCap := fs.Int("cache", 128, "invariant cache capacity (entries)")
 	answerCap := fs.Int("answers", 0, "answer cache capacity (0 = default)")
+	evalCap := fs.Int("evaluators", 0, "compiled-evaluator cache capacity (0 = default)")
 	workers := fs.Int("workers", 0, "batch worker-pool size (0 = GOMAXPROCS)")
 	storeDir := fs.String("store", "", "directory for the disk-persistent invariant store (empty = memory only)")
 	logFormat := fs.String("log-format", "text", "structured log encoding: text | json")
@@ -107,6 +108,9 @@ func runServe(args []string) {
 	opts := []topoinv.EngineOption{topoinv.WithCacheCapacity(*cacheCap)}
 	if *answerCap > 0 {
 		opts = append(opts, topoinv.WithAnswerCapacity(*answerCap))
+	}
+	if *evalCap > 0 {
+		opts = append(opts, topoinv.WithEvaluatorCapacity(*evalCap))
 	}
 	if *workers > 0 {
 		opts = append(opts, topoinv.WithWorkers(*workers))
@@ -500,13 +504,19 @@ type askResponse struct {
 	Timings *topoinv.StageTiming `json:"timings,omitempty"`
 }
 
-// maxQuantifierDepth caps the quantifier depth of served formulas.
-// Evaluation enumerates the representative sample once per quantified
-// variable — O(sample^depth) — so unbounded depth is an easy CPU DoS on an
-// open endpoint.  The legacy aliases all have depth 1; depth 4 already
-// admits far richer sentences than the paper's examples while keeping the
-// worst case bounded.  The CLI (topoinv ask) applies no such cap.
-const maxQuantifierDepth = 4
+// maxQuantifierDepth caps the quantifier depth of served formulas.  The
+// compiled bitset evaluator prices a quantifier level in 64-bit word
+// operations over the membership matrix, not in exact-rational geometry:
+// the innermost level collapses to an any-bit test, single-variable
+// restrictions are pre-folded columns, and only levels carrying nested
+// quantifiers enumerate candidates — so the worst case is
+// O(sample^(depth-1) · sample/64) word ops with aggressive short-circuit,
+// and depth 6 evaluates in the time geometry-priced depth 4 used to.
+// Unbounded depth is still an easy CPU DoS on an open endpoint (the
+// sample^(depth-1) factor survives for adversarial alternations), hence a
+// cap; the legacy aliases all have depth 1.  The CLI (topoinv ask) applies
+// no such cap.
+const maxQuantifierDepth = 6
 
 // buildQuery resolves a request's query: an explicit formula in the textual
 // query language, or a legacy name expanded through topoinv.QueryAlias.  The

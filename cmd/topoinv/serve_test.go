@@ -399,9 +399,18 @@ func TestServeFormulaErrors(t *testing.T) {
 		t.Errorf("legacy alias error carries an offset into server-side text: %v", out)
 	}
 	deep := askRequest{ID: loaded.ID,
-		Formula: "exists a . exists b . exists c . exists d . exists e . in(P, a) and in(P, b) and in(P, c) and in(P, d) and in(P, e)"}
+		Formula: "exists a . exists b . exists c . exists d . exists e . exists f . exists g . " +
+			"in(P, a) and in(P, b) and in(P, c) and in(P, d) and in(P, e) and in(P, f) and in(P, g)"}
 	if code, out := post(deep); code != http.StatusBadRequest {
 		t.Errorf("depth cap: status %d (%v), want 400", code, out)
+	}
+	// Depth 6 — the cap itself, affordable since evaluation compiles to
+	// bitset algebra — is served.
+	six := askRequest{ID: loaded.ID,
+		Formula: "exists a . exists b . exists c . exists d . exists e . exists f . " +
+			"in(P, a) and in(P, b) and in(P, c) and in(P, d) and in(P, e) and in(P, f)"}
+	if code, out := post(six); code != http.StatusOK {
+		t.Errorf("depth 6: status %d (%v), want 200", code, out)
 	}
 }
 

@@ -66,13 +66,26 @@ func (s Strategy) String() string {
 	}
 }
 
+// EvalSource supplies compiled evaluators for instances.  The engine
+// implements it with a sharded per-instance cache, so repeated asks — and
+// the helper instances the translations realise — reuse {sample, membership
+// matrix, ranks} instead of rebuilding arrangements.
+type EvalSource interface {
+	CompiledEvaluator(inst *spatial.Instance) (*pointfo.CompiledEvaluator, error)
+}
+
 // Database wraps a spatial instance together with its (lazily computed)
 // topological invariant and evaluators.
 type Database struct {
 	inst *spatial.Instance
 	inv  *invariant.Invariant
-	ev   *pointfo.Evaluator
+	ce   *pointfo.CompiledEvaluator
+	src  EvalSource
 }
+
+// SetEvalSource injects a shared compiled-evaluator source (the engine's
+// cache).  Without one, evaluators are compiled per database.
+func (db *Database) SetEvalSource(src EvalSource) { db.src = src }
 
 // Open prepares a database for the instance.
 func Open(inst *spatial.Instance) (*Database, error) {
@@ -111,15 +124,33 @@ func (db *Database) Invariant() (*invariant.Invariant, error) {
 	return db.inv, nil
 }
 
-func (db *Database) evaluator() (*pointfo.Evaluator, error) {
-	if db.ev == nil {
-		ev, err := pointfo.NewEvaluator(db.inst)
+func (db *Database) compiledFor(inst *spatial.Instance) (*pointfo.CompiledEvaluator, error) {
+	if db.src != nil {
+		return db.src.CompiledEvaluator(inst)
+	}
+	return pointfo.CompileEvaluator(inst)
+}
+
+// evalSentence answers q on an instance with the compiled bitset engine
+// (tree-walk fallback outside the compiled fragment), going through the
+// evaluator source when one is set.
+func (db *Database) evalSentence(inst *spatial.Instance, q pointfo.PointFormula) (bool, error) {
+	ce, err := db.compiledFor(inst)
+	if err != nil {
+		return false, err
+	}
+	return pointfo.EvalSentence(inst, ce, q)
+}
+
+func (db *Database) evaluator() (*pointfo.CompiledEvaluator, error) {
+	if db.ce == nil {
+		ce, err := db.compiledFor(db.inst)
 		if err != nil {
 			return nil, err
 		}
-		db.ev = ev
+		db.ce = ce
 	}
-	return db.ev, nil
+	return db.ce, nil
 }
 
 // Resolve maps Auto to the concrete strategy this database's instance
@@ -145,11 +176,11 @@ func (db *Database) Ask(q pointfo.PointFormula, s Strategy) (bool, error) {
 	}
 	switch s {
 	case Direct:
-		ev, err := db.evaluator()
+		ce, err := db.evaluator()
 		if err != nil {
 			return false, err
 		}
-		return ev.EvalPoint(q, nil)
+		return pointfo.EvalSentence(db.inst, ce, q)
 	case ViaInvariantFO:
 		if db.inst.Schema().Size() != 1 {
 			return false, fmt.Errorf("core: the FO-on-invariant strategy requires a single-region schema (Theorem 4.9); this schema has %d regions", db.inst.Schema().Size())
@@ -159,6 +190,7 @@ func (db *Database) Ask(q pointfo.PointFormula, s Strategy) (bool, error) {
 			return false, err
 		}
 		fo := translate.ToFOQuery(db.inst.Schema().Names()[0], q)
+		fo.Eval = db.evalSentence
 		return fo.EvaluateOnInvariant(inv)
 	case ViaInvariantFixpoint:
 		inv, err := db.Invariant()
@@ -166,7 +198,7 @@ func (db *Database) Ask(q pointfo.PointFormula, s Strategy) (bool, error) {
 			return false, err
 		}
 		fq := translate.ToFixpointQuery(q, db.inst.AllConnected())
-		return fq.EvaluateOnInvariant(inv)
+		return fq.EvaluateOnInvariantUsing(inv, db.evalSentence)
 	case ViaLinearized:
 		inv, err := db.Invariant()
 		if err != nil {
@@ -176,11 +208,7 @@ func (db *Database) Ask(q pointfo.PointFormula, s Strategy) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		ev, err := pointfo.NewEvaluator(j)
-		if err != nil {
-			return false, err
-		}
-		return ev.EvalPoint(q, nil)
+		return db.evalSentence(j, q)
 	default:
 		return false, fmt.Errorf("core: unknown strategy %v", s)
 	}

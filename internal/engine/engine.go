@@ -116,6 +116,12 @@ type Engine struct {
 
 	shards [cacheShards]cacheShard
 
+	// evalShards cache compiled evaluators per instance content address —
+	// see evalcache.go.
+	evalCapacity   int
+	evalUsedShards int
+	evalShards     [cacheShards]evalShard
+
 	// answers caches Boolean query results keyed by (instance content
 	// address, canonical query text, resolved strategy) — see answerKey.
 	// It sits in front of invariant computation: a repeated ask is served
@@ -191,6 +197,7 @@ func New(opts ...Option) *Engine {
 		capacity:       DefaultCacheCapacity,
 		workers:        runtime.GOMAXPROCS(0),
 		answerCapacity: DefaultAnswerCapacity,
+		evalCapacity:   DefaultEvaluatorCapacity,
 		keyMemo:        make(map[*spatial.Instance]string),
 	}
 	for _, o := range opts {
@@ -215,6 +222,21 @@ func New(opts ...Option) *Engine {
 			lru:      list.New(),
 			cache:    make(map[string]*list.Element),
 			inflight: make(map[string]*call),
+		}
+	}
+	// The evaluator cache follows the same exact-bound rule.
+	e.evalUsedShards = cacheShards
+	if e.evalCapacity < cacheShards {
+		e.evalUsedShards = e.evalCapacity
+	}
+	evalPerShard := (e.evalCapacity + e.evalUsedShards - 1) / e.evalUsedShards
+	e.evalCapacity = evalPerShard * e.evalUsedShards
+	for i := range e.evalShards {
+		e.evalShards[i] = evalShard{
+			capacity: evalPerShard,
+			lru:      list.New(),
+			cache:    make(map[string]*list.Element),
+			inflight: make(map[string]*evalCall),
 		}
 	}
 	if e.storeDir != "" {
@@ -669,6 +691,10 @@ func (e *Engine) run(req Request, index int, s core.Strategy) (res Result) {
 		}
 	}
 	if err == nil {
+		// Every database evaluates through the engine's compiled-evaluator
+		// cache, so repeated asks against the same instance content reuse
+		// the sample and membership matrix.
+		db.SetEvalSource(e)
 		sp := req.Span.Child("eval")
 		res.Answer, err = db.Ask(req.Query, res.Strategy)
 		sp.End()
@@ -730,6 +756,15 @@ type Stats struct {
 	AnswerMisses   uint64 `json:"answer_misses"`
 	AnswerSize     int    `json:"answer_size"`
 	AnswerCapacity int    `json:"answer_capacity"`
+	// EvalHits / EvalMisses / EvalDedups / EvalEvictions cover the
+	// compiled-evaluator cache: {sample, membership matrix, ranks} memoized
+	// per instance content address (evalcache.go).
+	EvalHits      uint64 `json:"eval_hits"`
+	EvalMisses    uint64 `json:"eval_misses"`
+	EvalDedups    uint64 `json:"eval_dedups"`
+	EvalEvictions uint64 `json:"eval_evictions"`
+	EvalSize      int    `json:"eval_size"`
+	EvalCapacity  int    `json:"eval_capacity"`
 	// Computes counts actual invariant.Compute runs: misses that neither
 	// the memory cache, the in-flight table nor the disk store absorbed.
 	Computes uint64 `json:"computes"`
@@ -754,6 +789,7 @@ func (e *Engine) Stats() Stats {
 	st := Stats{
 		CacheCapacity:  e.capacity,
 		CacheShards:    e.usedShards,
+		EvalCapacity:   e.evalCapacity,
 		AnswerHits:     e.answerHits.Load(),
 		AnswerMisses:   e.answerMisses.Load(),
 		AnswerSize:     e.answers.size(),
@@ -773,6 +809,16 @@ func (e *Engine) Stats() Stats {
 		st.CacheDedups += sh.dedups
 		st.CacheEvictions += sh.evictions
 		st.CacheSize += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	for i := range e.evalShards {
+		sh := &e.evalShards[i]
+		sh.mu.Lock()
+		st.EvalHits += sh.hits
+		st.EvalMisses += sh.misses
+		st.EvalDedups += sh.dedups
+		st.EvalEvictions += sh.evictions
+		st.EvalSize += sh.lru.Len()
 		sh.mu.Unlock()
 	}
 	if e.store != nil {

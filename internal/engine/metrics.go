@@ -47,6 +47,23 @@ var (
 		"Wall-clock latency of invariant.Compute runs (cold path).",
 		obs.DefLatencyBuckets)
 
+	mEvalHits = obs.Default.Counter(
+		"topoinv_engine_evaluator_cache_hits_total",
+		"Compiled-evaluator cache hits.")
+	mEvalMisses = obs.Default.Counter(
+		"topoinv_engine_evaluator_cache_misses_total",
+		"Compiled-evaluator cache misses (dedups and fresh builds).")
+	mEvalDedups = obs.Default.Counter(
+		"topoinv_engine_evaluator_singleflight_dedups_total",
+		"Evaluator builds deduplicated onto another goroutine's in-flight build.")
+	mEvalEvictions = obs.Default.Counter(
+		"topoinv_engine_evaluator_cache_evictions_total",
+		"Compiled evaluators evicted from the LRU memory cache.")
+	mEvalBuild = obs.Default.Histogram(
+		"topoinv_engine_evaluator_build_seconds",
+		"Wall-clock latency of compiled-evaluator builds (sample + membership matrix).",
+		obs.DefLatencyBuckets)
+
 	mStoreHits = obs.Default.Counter(
 		"topoinv_engine_store_hits_total",
 		"Invariant fetches served from the disk store.")
@@ -69,6 +86,10 @@ func init() {
 		"topoinv_engine_invariant_cache_hit_ratio",
 		"Lifetime invariant memory-cache hit ratio (hits / lookups).",
 		func() float64 { return ratio(mInvHits.Value(), mInvMisses.Value()) })
+	obs.Default.GaugeFunc(
+		"topoinv_engine_evaluator_cache_hit_ratio",
+		"Lifetime compiled-evaluator cache hit ratio (hits / lookups).",
+		func() float64 { return ratio(mEvalHits.Value(), mEvalMisses.Value()) })
 }
 
 func ratio(hits, misses uint64) float64 {

@@ -83,7 +83,7 @@ func TestDeterminismScope(t *testing.T) {
 	if appliesTo(a, "repro/internal/engine") {
 		t.Fatal("determinism must not apply to repro/internal/engine")
 	}
-	for _, p := range []string{"repro/internal/codec", "repro/internal/queryl", "repro/internal/invariant"} {
+	for _, p := range []string{"repro/internal/codec", "repro/internal/queryl", "repro/internal/invariant", "repro/internal/pointfo"} {
 		if !appliesTo(a, p) {
 			t.Errorf("determinism should apply to %s", p)
 		}

@@ -9,11 +9,17 @@ import (
 // determinismPaths are the content-addressed / canonical-output packages:
 // codec bytes are cache keys and golden-file pins, queryl's canonical text
 // is the answer-cache identity, and invariant cell IDs feed both. Any
-// run-to-run variation here silently poisons content addressing.
+// run-to-run variation here silently poisons content addressing.  pointfo
+// is canonical too: sample ordering and the membership matrix are
+// answer-identity inputs — the compiled evaluator's bitset columns, rank
+// tables and quantifier plans are all indexed by sample position, so
+// map-range order leaking into them would change cached answers between
+// runs.
 var determinismPaths = []string{
 	"repro/internal/codec",
 	"repro/internal/queryl",
 	"repro/internal/invariant",
+	"repro/internal/pointfo",
 }
 
 func newDeterminism() *Analyzer {

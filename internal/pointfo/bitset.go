@@ -1,0 +1,98 @@
+package pointfo
+
+import "math/bits"
+
+// bitset is a fixed-width set of sample-point indices packed 64 per word.
+// Width is implicit: every bitset over one sample shares the same word count,
+// and the final word's unused high bits are kept zero by every operation that
+// could set them (complement masks its tail), so popcount and any-bit tests
+// never need a width argument.
+type bitset []uint64
+
+// bitsetWords returns the number of words needed for n bits.
+func bitsetWords(n int) int { return (n + 63) / 64 }
+
+func newBitset(n int) bitset { return make(bitset, bitsetWords(n)) }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// fill sets the first n bits (and clears the tail padding).
+func (b bitset) fill(n int) {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	b.maskTail(n)
+}
+
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// maskTail zeroes the padding bits above position n-1 in the last word.
+func (b bitset) maskTail(n int) {
+	if len(b) == 0 {
+		return
+	}
+	if rem := uint(n & 63); rem != 0 {
+		b[len(b)-1] &= (1 << rem) - 1
+	}
+}
+
+func (b bitset) copyFrom(src bitset) {
+	copy(b, src)
+}
+
+func (b bitset) and(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// not complements the first n bits in place.
+func (b bitset) not(n int) {
+	for i := range b {
+		b[i] = ^b[i]
+	}
+	b.maskTail(n)
+}
+
+func (b bitset) any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b bitset) popcount() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// forEach calls fn for every set bit in ascending index order; fn returning
+// false stops the walk early.
+func (b bitset) forEach(fn func(i int) bool) {
+	for w, word := range b {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			if !fn(i) {
+				return
+			}
+			word &= word - 1
+		}
+	}
+}

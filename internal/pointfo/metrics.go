@@ -1,0 +1,26 @@
+package pointfo
+
+import "repro/internal/obs"
+
+// Planner observability: every quantifier block the compiled evaluator
+// plans records its decisions here, so /metrics shows whether hoisting,
+// selectivity reordering and the innermost bitset collapse are actually
+// firing on production formulas.  Fallbacks count formulas handed back to
+// the tree-walk evaluator (ErrUnsupported).
+var (
+	mPlans = obs.Default.Counter(
+		"topoinv_pointfo_quantifier_plans_total",
+		"Existential blocks planned by the compiled evaluator.")
+	mPlanHoisted = obs.Default.Counter(
+		"topoinv_pointfo_plan_hoisted_conjuncts_total",
+		"Conjuncts hoisted out of quantifier loops because they mention no block variable.")
+	mPlanCollapsed = obs.Default.Counter(
+		"topoinv_pointfo_plan_bitset_collapses_total",
+		"Quantifier blocks whose innermost level reduced to a single any-bit test.")
+	mPlanReordered = obs.Default.Counter(
+		"topoinv_pointfo_plan_reordered_blocks_total",
+		"Quantifier blocks whose variable order was changed by selectivity estimates.")
+	mCompileFallbacks = obs.Default.Counter(
+		"topoinv_pointfo_compile_fallbacks_total",
+		"Evaluations rejected by the formula compiler and left to the tree-walk evaluator.")
+)

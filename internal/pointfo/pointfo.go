@@ -21,6 +21,7 @@ package pointfo
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/arrangement"
@@ -181,8 +182,24 @@ func Size(f PointFormula) int {
 // Sample is the finite set of representative points used to evaluate
 // quantifiers: one witness per cell of the maximum topological cell
 // decomposition plus exterior witnesses.
+//
+// Alongside the points it carries the membership matrix: one closed-region
+// and one interior column per region, read straight off each point's cell
+// sign class during sampling.  Every sample point is a cell representative,
+// and a cell lies inside a single sign class, so the bits answer In /
+// InInterior atoms exactly — no point-in-region geometry is ever consulted
+// again once the sample exists.
 type Sample struct {
 	Points []geom.Point
+	// Regions lists the instance's region names in sorted order; it indexes
+	// the matrix columns below.
+	Regions []string
+	// In[r] has bit i set iff Points[i] belongs to the closed region
+	// Regions[r] (cell sign Interior or Boundary).
+	In []bitset
+	// Interior[r] has bit i set iff Points[i] lies in the topological
+	// interior of Regions[r] (cell sign Interior).
+	Interior []bitset
 }
 
 // BuildSample computes the representative sample of the instance.
@@ -194,30 +211,65 @@ func BuildSample(inst *spatial.Instance) (*Sample, error) {
 	return SampleFromComplex(cx), nil
 }
 
-// SampleFromComplex derives the representative sample from an existing cell
-// complex.
+// SampleFromComplex derives the representative sample — points and
+// membership matrix — from an existing cell complex.
 func SampleFromComplex(cx *arrangement.Complex) *Sample {
 	s := &Sample{}
+	if cx.Schema != nil {
+		s.Regions = cx.SortedRegionNames()
+	}
+	// Signs are collected per point first (cell count is only known after
+	// dedup), then packed into columns.
+	var signs []map[string]arrangement.Sign
 	seen := map[string]bool{}
-	add := func(p geom.Point) {
+	add := func(p geom.Point, sign map[string]arrangement.Sign) {
 		if !seen[p.Key()] {
 			seen[p.Key()] = true
 			s.Points = append(s.Points, p)
+			signs = append(signs, sign)
 		}
 	}
 	for _, v := range cx.Vertices {
-		add(v.Point)
+		add(v.Point, v.Sign)
 	}
 	for _, e := range cx.Edges {
-		add(e.Midpoint())
+		add(e.Midpoint(), e.Sign)
 	}
 	for _, f := range cx.Faces {
-		add(f.Rep)
+		add(f.Rep, f.Sign)
 	}
 	if len(s.Points) == 0 {
-		add(geom.Pt(0, 0))
+		// Degenerate all-empty instance: one exterior witness, member of
+		// nothing (the nil sign map below reads as Exterior everywhere).
+		add(geom.Pt(0, 0), nil)
+	}
+	n := len(s.Points)
+	s.In = make([]bitset, len(s.Regions))
+	s.Interior = make([]bitset, len(s.Regions))
+	for r, name := range s.Regions {
+		in, interior := newBitset(n), newBitset(n)
+		for i, sign := range signs {
+			switch sign[name] {
+			case arrangement.Interior:
+				in.set(i)
+				interior.set(i)
+			case arrangement.Boundary:
+				in.set(i)
+			}
+		}
+		s.In[r], s.Interior[r] = in, interior
 	}
 	return s
+}
+
+// regionIndex returns the matrix column of the named region, or -1.
+func (s *Sample) regionIndex(name string) int {
+	for i, r := range s.Regions {
+		if r == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // Evaluator evaluates point-language sentences on one instance.
@@ -234,6 +286,12 @@ func NewEvaluator(inst *spatial.Instance) (*Evaluator, error) {
 		return nil, err
 	}
 	return &Evaluator{inst: inst, sample: s}, nil
+}
+
+// NewEvaluatorWith pairs an instance with an already-built sample, skipping
+// the arrangement construction.  The sample must belong to inst.
+func NewEvaluatorWith(inst *spatial.Instance, s *Sample) *Evaluator {
+	return &Evaluator{inst: inst, sample: s}
 }
 
 // SampleSize returns the number of representative points used.
@@ -463,7 +521,7 @@ func (ev *Evaluator) EvalReal(f RealFormula, env map[string]rat.R) (result bool,
 }
 
 func (ev *Evaluator) realSample() []rat.R {
-	var coords []rat.R
+	coords := make([]rat.R, 0, 2*len(ev.sample.Points))
 	for _, p := range ev.sample.Points {
 		coords = append(coords, p.X, p.Y)
 	}
@@ -479,13 +537,7 @@ func (ev *Evaluator) realSample() []rat.R {
 	for _, c := range uniq {
 		sorted = append(sorted, c)
 	}
-	for i := 0; i < len(sorted); i++ {
-		for j := i + 1; j < len(sorted); j++ {
-			if sorted[j].Less(sorted[i]) {
-				sorted[i], sorted[j] = sorted[j], sorted[i]
-			}
-		}
-	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
 	out := []rat.R{sorted[0].Sub(rat.One)}
 	for i, c := range sorted {
 		out = append(out, c)

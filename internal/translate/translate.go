@@ -570,19 +570,41 @@ func ToFixpointQuery(q pointfo.PointFormula, connectedRegions bool) *FixpointQue
 	return &FixpointQuery{Query: q, RequiresCounting: !connectedRegions}
 }
 
+// SentenceEvaluator evaluates an FO(P,<x,<y) sentence on an instance.  The
+// translations realise small helper instances (inverted linear instances,
+// representative cone instances) and evaluate the carried query on them;
+// callers that hold cached compiled evaluators (the engine) inject one so
+// those evaluations hit the cache instead of rebuilding arrangements.
+type SentenceEvaluator func(inst *spatial.Instance, q pointfo.PointFormula) (bool, error)
+
+// defaultEval compiles the instance once and evaluates with the bitset
+// engine, falling back to the tree walk outside the compiled fragment.
+func defaultEval(inst *spatial.Instance, q pointfo.PointFormula) (bool, error) {
+	ce, err := pointfo.CompileEvaluator(inst)
+	if err != nil {
+		return false, err
+	}
+	return pointfo.EvalSentence(inst, ce, q)
+}
+
 // EvaluateOnInvariant answers the translated query on a topological
 // invariant: it inverts the invariant into a linear instance and evaluates
 // the carried query on it.
 func (fq *FixpointQuery) EvaluateOnInvariant(inv *invariant.Invariant) (bool, error) {
+	return fq.EvaluateOnInvariantUsing(inv, nil)
+}
+
+// EvaluateOnInvariantUsing is EvaluateOnInvariant with an injected sentence
+// evaluator (nil uses the default compiled evaluation).
+func (fq *FixpointQuery) EvaluateOnInvariantUsing(inv *invariant.Invariant, eval SentenceEvaluator) (bool, error) {
+	if eval == nil {
+		eval = defaultEval
+	}
 	j, err := InvertToLinear(inv)
 	if err != nil {
 		return false, err
 	}
-	ev, err := pointfo.NewEvaluator(j)
-	if err != nil {
-		return false, err
-	}
-	return ev.EvalPoint(fq.Query, nil)
+	return eval(j, fq.Query)
 }
 
 // --- Theorem 4.9: translation into FO on the invariant ----------------------------
@@ -604,6 +626,16 @@ type FOQuery struct {
 	// ClassesEvaluated counts how many representative cone instances were
 	// realised and evaluated (the measure of translation cost).
 	ClassesEvaluated int
+	// Eval evaluates the carried query on realised representative
+	// instances; nil uses the default compiled evaluation.
+	Eval SentenceEvaluator
+}
+
+func (fo *FOQuery) eval() SentenceEvaluator {
+	if fo.Eval != nil {
+		return fo.Eval
+	}
+	return defaultEval
 }
 
 // ToFOQuery prepares the FO-target translation of a topological query over a
@@ -648,11 +680,7 @@ func (fo *FOQuery) EvaluateOnInvariant(inv *invariant.Invariant) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("translate: cannot realise representative instance: %w", err)
 	}
-	ev, err := pointfo.NewEvaluator(rep)
-	if err != nil {
-		return false, err
-	}
-	verdict, err := ev.EvalPoint(fo.Query, nil)
+	verdict, err := fo.eval()(rep, fo.Query)
 	if err != nil {
 		return false, err
 	}
@@ -760,11 +788,7 @@ func (fo *FOQuery) EnumerateClasses(maxCycleLen, maxCones int) (int, error) {
 			if _, ok := fo.accepted[sig]; !ok {
 				rep, err := cones.Realize(fo.Region, chosen)
 				if err == nil {
-					ev, err := pointfo.NewEvaluator(rep)
-					if err != nil {
-						return err
-					}
-					verdict, err := ev.EvalPoint(fo.Query, nil)
+					verdict, err := fo.eval()(rep, fo.Query)
 					if err != nil {
 						return err
 					}

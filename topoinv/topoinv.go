@@ -171,6 +171,9 @@ var (
 	NewEngine = engine.New
 	// WithCacheCapacity bounds the engine's invariant cache (LRU).
 	WithCacheCapacity = engine.WithCacheCapacity
+	// WithEvaluatorCapacity bounds the engine's compiled-evaluator cache
+	// ({sample, membership matrix, ranks} per instance content).
+	WithEvaluatorCapacity = engine.WithEvaluatorCapacity
 	// WithWorkers sets the engine's Batch worker-pool size.
 	WithWorkers = engine.WithWorkers
 	// WithStore layers the engine over a disk-persistent invariant store:
