@@ -15,6 +15,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/pointfo"
 	"repro/internal/relational"
+	"repro/internal/simindex"
 	"repro/internal/translate"
 	"repro/topoinv"
 )
@@ -490,6 +491,93 @@ func BenchmarkDirectAskCachedEvaluator(b *testing.B) {
 		b.Fatal("no evaluator-cache hits; Direct asks are rebuilding evaluators")
 	}
 	b.ReportMetric(float64(stats.EvalHits), "eval-hits")
+}
+
+// simBenchCorpus builds a similarity-index corpus of the given size from a
+// handful of real invariants, tiled out with deterministic feature-space
+// perturbations (clones drop the exact-tier class so the k-NN structure —
+// not the O(1) class lookup — is what gets measured).
+func simBenchCorpus(b *testing.B, n int) []*simindex.Entry {
+	b.Helper()
+	shapes := []map[string]topoinv.Region{
+		{"P": topoinv.Rect(0, 0, 10, 10)},
+		{"P": topoinv.Annulus(0, 0, 30, 30, 3)},
+		{"P": topoinv.Rect(0, 0, 4, 4), "Q": topoinv.Rect(2, 2, 6, 6)},
+		{"P": topoinv.Annulus(0, 0, 40, 40, 5), "Q": topoinv.Rect(50, 0, 60, 10)},
+	}
+	seeds := make([]*simindex.Entry, 0, len(shapes))
+	for i, regions := range shapes {
+		names := make([]string, 0, len(regions))
+		for name := range regions {
+			names = append(names, name)
+		}
+		inst := topoinv.MustBuild(topoinv.MustSchema(names...), regions)
+		inv, err := topoinv.ComputeInvariant(inst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seeds = append(seeds, simindex.MakeEntry(fmt.Sprintf("seed-%d", i), inv))
+	}
+	entries := make([]*simindex.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		seed := seeds[i%len(seeds)]
+		e := *seed
+		e.ID = fmt.Sprintf("inst-%04d", i)
+		e.Class = ""
+		for d := range e.Vec {
+			e.Vec[d] += float64((i*31+d*7)%97) / 1e4
+		}
+		entries = append(entries, &e)
+	}
+	return entries
+}
+
+// BenchmarkSimIndex measures the similarity subsystem over a 256-instance
+// corpus: index construction, then top-k retrieval on the VP-tree-accelerated
+// path against the exact linear scan it must agree with.  The accelerated
+// query is the acceptance-gated number (sub-millisecond per top-k).
+func BenchmarkSimIndex(b *testing.B) {
+	const corpus, k = 256, 10
+	entries := simBenchCorpus(b, corpus)
+	probe := *entries[0]
+	probe.ID = "probe"
+	for d := range probe.Vec {
+		probe.Vec[d] += 0.003
+	}
+
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := simindex.New()
+			for _, e := range entries {
+				x.Add(e)
+			}
+			x.Rebuild()
+		}
+	})
+
+	x := simindex.New()
+	for _, e := range entries {
+		x.Add(e)
+	}
+	x.Rebuild()
+	want := x.ScanQuery(&probe, k)
+	if len(want) != k {
+		b.Fatalf("scan returned %d matches, want %d", len(want), k)
+	}
+	b.Run("query-vptree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := x.Query(&probe, k); len(got) != k {
+				b.Fatalf("got %d matches, want %d", len(got), k)
+			}
+		}
+	})
+	b.Run("query-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := x.ScanQuery(&probe, k); len(got) != k {
+				b.Fatalf("got %d matches, want %d", len(got), k)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationIso compares invariant isomorphism via canonical codes

@@ -20,7 +20,7 @@ import (
 )
 
 // The loadgen subcommand drives a running topoinv server with a steady mix
-// of ask / batch / import / deepask traffic at a target QPS and reports
+// of ask / batch / import / deepask / similar traffic at a target QPS and reports
 // throughput and client-side latency percentiles.  Latencies are aggregated with the same
 // fixed-bucket histogram the server's /metrics instruments use, so the
 // numbers are directly comparable with the server-side view, and the JSON
@@ -33,7 +33,7 @@ type loadConfig struct {
 	workers   int
 	workload  string
 	scale     int
-	mix       [opKinds]int // ask : batch : import : deepask weights
+	mix       [opKinds]int // ask : batch : import : deepask : similar weights
 	batchSize int
 	seed      int64
 }
@@ -41,15 +41,18 @@ type loadConfig struct {
 // op kinds, indexed by the mix weights.  deepask sends quantifier-depth ≥ 3
 // sentences — the traffic class the compiled bitset evaluator exists for —
 // so the report separates cheap alias asks from the planner-heavy path.
+// similar posts inline probes to the similarity endpoint, exercising the
+// two-tier index (canonical-key lookup + feature-space k-NN) under load.
 const (
 	opAsk = iota
 	opBatch
 	opImport
 	opDeepAsk
+	opSimilar
 	opKinds
 )
 
-var opNames = [opKinds]string{"ask", "batch", "import", "deepask"}
+var opNames = [opKinds]string{"ask", "batch", "import", "deepask", "similar"}
 
 // kindStats aggregates one op kind's client-side observations.  The
 // histogram is a standalone obs histogram — the same bucket layout and
@@ -84,7 +87,7 @@ func runLoadgen(args []string) {
 	workers := fs.Int("workers", 8, "concurrent client workers")
 	workloadName := fs.String("workload", "nested", "workload backing the generated traffic")
 	scale := fs.Int("scale", 2, "workload scale factor")
-	mix := fs.String("mix", "7:1:1:1", "ask:batch:import:deepask traffic weights (three parts leave deepask at 0)")
+	mix := fs.String("mix", "6:1:1:1:1", "ask:batch:import:deepask:similar traffic weights (trailing parts may be omitted and default to 0)")
 	batchSize := fs.Int("batch-size", 8, "queries per batch request")
 	seed := fs.Int64("seed", 1, "PRNG seed for query selection")
 	out := fs.String("o", "", "write a benchjson-compatible JSON report to this file")
@@ -123,12 +126,13 @@ func runLoadgen(args []string) {
 	}
 }
 
-// parseMix parses the traffic weights.  Three parts are accepted for
-// back-compatibility with pre-deepask invocations and leave deepask at 0.
+// parseMix parses the traffic weights.  Three and four parts stay accepted
+// for back-compatibility with pre-deepask and pre-similar invocations; the
+// omitted trailing kinds get weight 0.
 func parseMix(s string) ([opKinds]int, error) {
 	parts := strings.Split(s, ":")
-	if len(parts) != opKinds && len(parts) != opKinds-1 {
-		return [opKinds]int{}, fmt.Errorf("bad mix %q (want ask:batch:import:deepask, e.g. 7:1:1:1)", s)
+	if len(parts) < opKinds-2 || len(parts) > opKinds {
+		return [opKinds]int{}, fmt.Errorf("bad mix %q (want ask:batch:import:deepask:similar, e.g. 6:1:1:1:1)", s)
 	}
 	var w [opKinds]int
 	total := 0
@@ -190,6 +194,10 @@ func runLoad(cfg loadConfig) (*loadReportJSON, string, error) {
 		return nil, "", err
 	}
 	deepBodies, err := buildDeepAskBodies(inst, id)
+	if err != nil {
+		return nil, "", err
+	}
+	similarBodies, err := buildSimilarBodies(blob, cfg.workload, cfg.scale)
 	if err != nil {
 		return nil, "", err
 	}
@@ -269,6 +277,8 @@ func runLoad(cfg loadConfig) (*loadReportJSON, string, error) {
 					path, body = "/v1/instances", loadBody
 				case opDeepAsk:
 					path, body = "/v1/ask", deepBodies[rng.Intn(len(deepBodies))]
+				case opSimilar:
+					path, body = "/v1/similar", similarBodies[rng.Intn(len(similarBodies))]
 				}
 				t0 := time.Now()
 				ok := doPost(client, cfg.addr+path, body)
@@ -384,6 +394,27 @@ func buildDeepAskBodies(inst *topoinv.Instance, id string) ([][]byte, error) {
 	return bodies, nil
 }
 
+// buildSimilarBodies pre-marshals /v1/similar probe payloads: the primed
+// instance blob itself (a guaranteed exact-tier hit once its twin is in the
+// corpus) plus small workload probes that keep the approximate tier ranking
+// genuinely different shapes.
+func buildSimilarBodies(blob []byte, workloadName string, scale int) ([][]byte, error) {
+	payloads := []map[string]any{
+		{"data": base64.StdEncoding.EncodeToString(blob), "k": 5},
+		{"workload": workloadName, "scale": scale, "k": 5},
+		{"workload": "multicomponent", "scale": 1, "k": 5},
+	}
+	bodies := make([][]byte, 0, len(payloads))
+	for _, p := range payloads {
+		b, err := json.Marshal(p)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, b)
+	}
+	return bodies, nil
+}
+
 func buildBatchBody(askBodies [][]byte, size int) ([]byte, error) {
 	reqs := make([]json.RawMessage, 0, size)
 	for i := 0; i < size; i++ {
@@ -413,7 +444,7 @@ func buildLoadReport(cfg loadConfig, stats []kindStats, overall *topoinv.Metrics
 	var sb strings.Builder
 	total := overall.Count()
 	achieved := float64(total) / elapsed.Seconds()
-	fmt.Fprintf(&sb, "loadgen: %s for %s at target %.0f qps (mix ask:batch:import:deepask = %s, %d workers)\n",
+	fmt.Fprintf(&sb, "loadgen: %s for %s at target %.0f qps (mix ask:batch:import:deepask:similar = %s, %d workers)\n",
 		cfg.workload, elapsed.Round(time.Millisecond), cfg.qps, mixString(cfg.mix), cfg.workers)
 	fmt.Fprintf(&sb, "loadgen: %d requests, %.1f achieved qps\n", total, achieved)
 

@@ -6,17 +6,21 @@ import (
 )
 
 func TestParseMix(t *testing.T) {
-	if w, err := parseMix("7:1:1:1"); err != nil || w != [4]int{7, 1, 1, 1} {
+	if w, err := parseMix("6:1:1:1:1"); err != nil || w != [5]int{6, 1, 1, 1, 1} {
+		t.Errorf("parseMix(6:1:1:1:1) = %v, %v", w, err)
+	}
+	// Three and four parts stay accepted for pre-deepask / pre-similar
+	// invocations: the omitted trailing kinds get weight 0.
+	if w, err := parseMix("7:1:1:1"); err != nil || w != [5]int{7, 1, 1, 1, 0} {
 		t.Errorf("parseMix(7:1:1:1) = %v, %v", w, err)
 	}
-	// Three parts stay accepted for pre-deepask invocations: deepask is 0.
-	if w, err := parseMix("8:1:1"); err != nil || w != [4]int{8, 1, 1, 0} {
+	if w, err := parseMix("8:1:1"); err != nil || w != [5]int{8, 1, 1, 0, 0} {
 		t.Errorf("parseMix(8:1:1) = %v, %v", w, err)
 	}
-	if w, err := parseMix("1:0:0"); err != nil || w != [4]int{1, 0, 0, 0} {
+	if w, err := parseMix("1:0:0"); err != nil || w != [5]int{1, 0, 0, 0, 0} {
 		t.Errorf("parseMix(1:0:0) = %v, %v", w, err)
 	}
-	for _, bad := range []string{"", "1:2", "a:b:c", "0:0:0", "-1:1:1", "1:1:1:1:1"} {
+	for _, bad := range []string{"", "1:2", "a:b:c", "0:0:0", "-1:1:1", "1:1:1:1:1:1"} {
 		if _, err := parseMix(bad); err == nil {
 			t.Errorf("parseMix(%q) accepted", bad)
 		}
@@ -36,7 +40,7 @@ func TestLoadgenSmoke(t *testing.T) {
 		workers:   4,
 		workload:  "nested",
 		scale:     1,
-		mix:       [4]int{3, 1, 1, 1},
+		mix:       [5]int{3, 1, 1, 1, 1},
 		batchSize: 3,
 		seed:      1,
 	}
@@ -63,7 +67,7 @@ func TestLoadgenSmoke(t *testing.T) {
 		t.Errorf("overall qps = %v, want > 0", overall.Metrics["qps"])
 	}
 	// Every kind in the mix saw traffic, reported latencies and no errors.
-	for _, name := range []string{"Loadgen/ask", "Loadgen/batch", "Loadgen/import", "Loadgen/deepask", "Loadgen/overall"} {
+	for _, name := range []string{"Loadgen/ask", "Loadgen/batch", "Loadgen/import", "Loadgen/deepask", "Loadgen/similar", "Loadgen/overall"} {
 		r, ok := results[name]
 		if !ok {
 			t.Errorf("report is missing %s", name)

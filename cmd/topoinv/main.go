@@ -15,6 +15,10 @@
 //	topoinv ask -q 'exists u . in(P, u)' [-i inst.tinv | -workload nested]
 //	    parse a sentence of the FO(P,<x,<y) query language, canonicalize it
 //	    and answer it with a chosen strategy;
+//	topoinv similar -store dir [-i inst.tinv | -workload nested] -k 5
+//	    rank the store's analysed instances by topological similarity to a
+//	    probe: homeomorphism-class matches first, then feature-space
+//	    neighbours;
 //	topoinv serve -addr :8080 [-store dir]
 //	    run the concurrent query engine behind a small HTTP JSON API, with an
 //	    optional disk-persistent invariant store, Prometheus metrics at
@@ -42,7 +46,7 @@ func main() {
 	cmd := "measure"
 	if len(args) > 0 {
 		switch {
-		case args[0] == "measure" || args[0] == "encode" || args[0] == "decode" || args[0] == "serve" || args[0] == "import" || args[0] == "ask" || args[0] == "loadgen":
+		case args[0] == "measure" || args[0] == "encode" || args[0] == "decode" || args[0] == "serve" || args[0] == "import" || args[0] == "ask" || args[0] == "similar" || args[0] == "loadgen":
 			cmd, args = args[0], args[1:]
 		case args[0] == "-h" || args[0] == "--help" || args[0] == "help":
 			usage()
@@ -64,6 +68,8 @@ func main() {
 		runImport(args)
 	case "ask":
 		runAsk(args)
+	case "similar":
+		runSimilar(args)
 	case "serve":
 		runServe(args)
 	case "loadgen":
@@ -80,6 +86,7 @@ commands:
   decode    read a binary blob and print a summary
   import    convert a GeoJSON document to a binary instance
   ask       answer one FO(P,<x,<y) sentence against an instance
+  similar   rank a store's instances by topological similarity to a probe
   serve     run the query engine as an HTTP JSON service
   loadgen   drive a running server at a target QPS and report latency percentiles
 

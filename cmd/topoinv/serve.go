@@ -34,6 +34,14 @@
 //	                            finish (each line carries "index"); otherwise
 //	                            a JSON array in request order is returned.
 //	                            ?debug=timings adds per-item span trees.
+//	GET  /v1/instances/{id}/similar?k=N
+//	                            top-N topologically similar instances from the
+//	                            persistent corpus: exact homeomorphism-class
+//	                            matches first (distance 0), then approximate
+//	                            matches ranked by the feature-space distance
+//	POST /v1/similar            the same retrieval for an inline probe (the
+//	                            POST /v1/instances body fields plus "k");
+//	                            the probe is not registered for serving
 //	GET  /v1/stats              engine caches (invariant + answer) and
 //	                            per-strategy counters, plus uptime_seconds,
 //	                            build info (module version / vcs revision)
@@ -247,6 +255,8 @@ func (s *server) routes() http.Handler {
 	s.handle(mux, "GET /v1/instances", "/v1/instances", s.handleList)
 	s.handle(mux, "DELETE /v1/instances/{id}", "/v1/instances/{id}", s.handleUnload)
 	s.handle(mux, "GET /v1/instances/{id}/invariant", "/v1/instances/{id}/invariant", s.handleInvariant)
+	s.handle(mux, "GET /v1/instances/{id}/similar", "/v1/instances/{id}/similar", s.handleSimilar)
+	s.handle(mux, "POST /v1/similar", "/v1/similar", s.handleSimilarProbe)
 	s.handle(mux, "POST /v1/ask", "/v1/ask", s.handleAsk)
 	s.handle(mux, "POST /v1/batch", "/v1/batch", s.handleBatch)
 	s.handle(mux, "GET /v1/stats", "/v1/stats", s.handleStats)
@@ -272,6 +282,9 @@ type loadRequest struct {
 	// snapping at the given decimal precision (0 ⇒ the default grid).
 	GeoJSON   json.RawMessage `json:"geojson,omitempty"`
 	Precision int             `json:"precision,omitempty"`
+	// K is only read by POST /v1/similar: the number of matches to return
+	// (default 5, capped at maxSimilarK).
+	K int `json:"k,omitempty"`
 }
 
 type loadResponse struct {
@@ -329,16 +342,13 @@ func readLoadBody(w http.ResponseWriter, r *http.Request) (*loadRequest, int, er
 	return &req, 0, nil
 }
 
-func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
-	reqp, status, err := readLoadBody(w, r)
-	if err != nil {
-		httpError(w, status, "%v", err)
-		return
-	}
-	req := *reqp
+// instanceFromLoadRequest materializes the instance a load-shaped request
+// describes (inline GeoJSON, base64 instance blob, or named workload) —
+// shared by POST /v1/instances and the POST /v1/similar probe. The int is
+// the HTTP status for the returned error.
+func instanceFromLoadRequest(req loadRequest) (*topoinv.Instance, int, error) {
 	if len(req.GeoJSON) > maxGeoJSONBytes {
-		httpError(w, http.StatusBadRequest, "geojson document larger than %d bytes", maxGeoJSONBytes)
-		return
+		return nil, http.StatusBadRequest, fmt.Errorf("geojson document larger than %d bytes", maxGeoJSONBytes)
 	}
 	// Clients that emit every field treat absent values as JSON null;
 	// RawMessage keeps the literal "null" bytes, which must not shadow a
@@ -346,40 +356,50 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if string(req.GeoJSON) == "null" {
 		req.GeoJSON = nil
 	}
-	var inst *topoinv.Instance
 	switch {
 	case len(req.GeoJSON) > 0:
 		var opts []topoinv.GeoJSONOption
 		if req.Precision > 0 {
 			opts = append(opts, topoinv.GeoJSONPrecision(req.Precision))
 		}
-		var err error
-		if inst, err = topoinv.ImportGeoJSON(req.GeoJSON, opts...); err != nil {
-			httpError(w, http.StatusBadRequest, "bad geojson: %v", err)
-			return
+		inst, err := topoinv.ImportGeoJSON(req.GeoJSON, opts...)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad geojson: %w", err)
 		}
+		return inst, 0, nil
 	case req.Data != "":
 		raw, err := base64.StdEncoding.DecodeString(req.Data)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad base64 data: %v", err)
-			return
+			return nil, http.StatusBadRequest, fmt.Errorf("bad base64 data: %w", err)
 		}
-		if inst, err = topoinv.Decode(raw); err != nil {
-			httpError(w, http.StatusBadRequest, "bad instance blob: %v", err)
-			return
+		inst, err := topoinv.Decode(raw)
+		if err != nil {
+			return nil, http.StatusBadRequest, fmt.Errorf("bad instance blob: %w", err)
 		}
+		return inst, 0, nil
 	case req.Workload != "":
 		scale := req.Scale
 		if scale < 1 {
 			scale = 1
 		}
-		var err error
-		if inst, err = generateWorkload(req.Workload, scale); err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
-			return
+		inst, err := generateWorkload(req.Workload, scale)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
 		}
-	default:
-		httpError(w, http.StatusBadRequest, "provide workload, data or geojson")
+		return inst, 0, nil
+	}
+	return nil, http.StatusBadRequest, fmt.Errorf("provide workload, data or geojson")
+}
+
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	reqp, status, err := readLoadBody(w, r)
+	if err != nil {
+		httpError(w, status, "%v", err)
+		return
+	}
+	inst, status, err := instanceFromLoadRequest(*reqp)
+	if err != nil {
+		httpError(w, status, "%v", err)
 		return
 	}
 	id, err := topoinv.InstanceKey(inst)
@@ -430,12 +450,27 @@ func (s *server) handleUnload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
+// listEntry is one GET /v1/instances row: the load summary plus the
+// similarity-index identity (exact-tier equivalence class and invariant
+// fingerprint, both hex SHA-256). The identity fields are present once the
+// instance's invariant has been computed; class is omitted when the exact
+// tier abstained on an oversized invariant.
+type listEntry struct {
+	loadResponse
+	Class       string `json:"class,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	out := make([]loadResponse, 0, len(s.instances))
+	out := make([]listEntry, 0, len(s.instances))
 	for id, inst := range s.instances {
 		sum := inst.Summarise()
-		out = append(out, loadResponse{ID: id, Regions: sum.Regions, Features: sum.Features, Points: sum.Points})
+		e := listEntry{loadResponse: loadResponse{ID: id, Regions: sum.Regions, Features: sum.Features, Points: sum.Points}}
+		if ent, ok := s.engine.SimEntry(inst); ok {
+			e.Class, e.Fingerprint = ent.Class, ent.Fingerprint
+		}
+		out = append(out, e)
 	}
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, out)

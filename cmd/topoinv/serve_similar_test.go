@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/topoinv"
+)
+
+// simTestInstances builds a small corpus with a known exact-tier hit: two
+// translated (hence homeomorphic) rectangles with distinct content keys,
+// an annulus and a two-region overlap.
+func simTestInstances(t *testing.T) (a, a2, b, c *topoinv.Instance) {
+	t.Helper()
+	mk := func(offset int64) *topoinv.Instance {
+		return topoinv.MustBuild(topoinv.MustSchema("P"), map[string]topoinv.Region{
+			"P": topoinv.Rect(offset, 0, offset+10, 10),
+		})
+	}
+	a, a2 = mk(0), mk(500)
+	b = topoinv.MustBuild(topoinv.MustSchema("P"), map[string]topoinv.Region{
+		"P": topoinv.Annulus(0, 0, 30, 30, 3),
+	})
+	c = topoinv.MustBuild(topoinv.MustSchema("P", "Q"), map[string]topoinv.Region{
+		"P": topoinv.Rect(0, 0, 4, 4),
+		"Q": topoinv.Rect(2, 2, 6, 6),
+	})
+	return
+}
+
+func dataRequest(t *testing.T, inst *topoinv.Instance) loadRequest {
+	t.Helper()
+	data, err := topoinv.Encode(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loadRequest{Data: base64.StdEncoding.EncodeToString(data)}
+}
+
+// loadInstance uploads an instance and touches its invariant endpoint —
+// the similarity corpus is fed by the engine's (lazy) invariant-build
+// path, so a freshly loaded instance joins it on first analysis.
+func loadInstance(t *testing.T, baseURL string, inst *topoinv.Instance) string {
+	t.Helper()
+	var loaded loadResponse
+	if resp := postJSON(t, baseURL+"/v1/instances", dataRequest(t, inst), &loaded); resp.StatusCode != http.StatusOK {
+		t.Fatalf("load: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, fmt.Sprintf("%s/v1/instances/%s/invariant", baseURL, loaded.ID), nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("invariant: status %d", resp.StatusCode)
+	}
+	return loaded.ID
+}
+
+func TestServeSimilar(t *testing.T) {
+	ts := testServer(t)
+	a, a2, b, c := simTestInstances(t)
+	aID := loadInstance(t, ts.URL, a)
+	a2ID := loadInstance(t, ts.URL, a2)
+	loadInstance(t, ts.URL, b)
+	loadInstance(t, ts.URL, c)
+
+	var got similarResponse
+	if resp := getJSON(t, fmt.Sprintf("%s/v1/instances/%s/similar?k=3", ts.URL, aID), &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("similar: status %d", resp.StatusCode)
+	}
+	if got.ID != aID || got.K != 3 {
+		t.Fatalf("response identity %s k=%d, want %s k=3", got.ID, got.K, aID)
+	}
+	if got.Class == "" || got.Fingerprint == "" {
+		t.Errorf("probe class/fingerprint missing: %+v", got)
+	}
+	if len(got.Matches) != 3 {
+		t.Fatalf("got %d matches, want 3", len(got.Matches))
+	}
+	// The translated twin is homeomorphic: exact tier, distance 0, first.
+	if m := got.Matches[0]; !m.Exact || m.Distance != 0 || m.ID != a2ID {
+		t.Fatalf("first match %+v, want exact hit on %s", m, a2ID)
+	}
+	for _, m := range got.Matches[1:] {
+		if m.Exact || m.Distance <= 0 {
+			t.Errorf("approximate match %+v should carry positive distance", m)
+		}
+		if m.ID == aID {
+			t.Error("probe matched itself")
+		}
+	}
+
+	// The instance list carries the similarity identity (class/fingerprint).
+	var entries []listEntry
+	getJSON(t, ts.URL+"/v1/instances", &entries)
+	if len(entries) != 4 {
+		t.Fatalf("listed %d instances, want 4", len(entries))
+	}
+	for _, e := range entries {
+		if e.Fingerprint == "" {
+			t.Errorf("list entry %s has no fingerprint", e.ID)
+		}
+		if e.Class == "" {
+			t.Errorf("list entry %s has no class (corpus is small, none abstain)", e.ID)
+		}
+	}
+}
+
+func TestServeSimilarProbe(t *testing.T) {
+	ts := testServer(t)
+	a, a2, b, _ := simTestInstances(t)
+	aID := loadInstance(t, ts.URL, a)
+	a2ID := loadInstance(t, ts.URL, a2)
+	loadInstance(t, ts.URL, b)
+
+	// An inline probe homeomorphic to a/a2 but with a third content key.
+	probe := topoinv.MustBuild(topoinv.MustSchema("P"), map[string]topoinv.Region{
+		"P": topoinv.Rect(900, 0, 910, 10),
+	})
+	req := dataRequest(t, probe)
+	req.K = 2
+	var got similarResponse
+	if resp := postJSON(t, ts.URL+"/v1/similar", req, &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe: status %d", resp.StatusCode)
+	}
+	if len(got.Matches) != 2 {
+		t.Fatalf("got %d matches, want 2", len(got.Matches))
+	}
+	for i, wantID := range []string{aID, a2ID} {
+		if m := got.Matches[i]; !m.Exact || m.Distance != 0 || m.ID != wantID {
+			t.Errorf("match %d = %+v, want exact hit on %s", i, m, wantID)
+		}
+	}
+
+	// The probe joined the similarity corpus but not the served registry.
+	var entries []listEntry
+	getJSON(t, ts.URL+"/v1/instances", &entries)
+	for _, e := range entries {
+		if e.ID == got.ID {
+			t.Error("inline probe leaked into the instance registry")
+		}
+	}
+
+	// A workload-shaped probe body works too (the POST /v1/instances fields).
+	var wl similarResponse
+	if resp := postJSON(t, ts.URL+"/v1/similar", loadRequest{Workload: "nested", Scale: 2, K: 3}, &wl); resp.StatusCode != http.StatusOK {
+		t.Fatalf("workload probe: status %d", resp.StatusCode)
+	}
+	if len(wl.Matches) == 0 {
+		t.Error("workload probe found no matches over a nonempty corpus")
+	}
+}
+
+func TestServeSimilarErrors(t *testing.T) {
+	ts := testServer(t)
+	a, _, _, _ := simTestInstances(t)
+	aID := loadInstance(t, ts.URL, a)
+
+	resp, err := http.Get(ts.URL + "/v1/instances/nope/similar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", resp.StatusCode)
+	}
+
+	for _, k := range []string{"0", "-3", "zebra"} {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/instances/%s/similar?k=%s", ts.URL, aID, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("k=%s: status %d, want 400", k, resp.StatusCode)
+		}
+	}
+
+	// Oversized k is capped, not rejected.
+	var got similarResponse
+	if resp := getJSON(t, fmt.Sprintf("%s/v1/instances/%s/similar?k=100000", ts.URL, aID), &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("huge k: status %d", resp.StatusCode)
+	}
+	if got.K != maxSimilarK {
+		t.Errorf("huge k reported as %d, want capped at %d", got.K, maxSimilarK)
+	}
+
+	// A malformed probe body.
+	if resp := postJSON(t, ts.URL+"/v1/similar", loadRequest{Workload: "no-such-workload"}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad probe: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeSimilarRestart is the acceptance test for the similarity corpus:
+// a second server over the same store directory must answer the same
+// similarity query from the persisted index — zero invariant recomputes,
+// every index entry loaded from SIMINDEX.bin rather than rebuilt.
+func TestServeSimilarRestart(t *testing.T) {
+	dir := t.TempDir()
+	a, a2, b, c := simTestInstances(t)
+
+	e1 := topoinv.NewEngine(topoinv.WithStore(dir))
+	if err := e1.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(newServer(e1).routes())
+	var aID string
+	for _, inst := range []*topoinv.Instance{a, a2, b, c} {
+		id := loadInstance(t, ts1.URL, inst)
+		if inst == a {
+			aID = id
+		}
+	}
+	var want similarResponse
+	if resp := getJSON(t, fmt.Sprintf("%s/v1/instances/%s/similar?k=3", ts1.URL, aID), &want); resp.StatusCode != http.StatusOK {
+		t.Fatalf("similar: status %d", resp.StatusCode)
+	}
+	if len(want.Matches) != 3 || !want.Matches[0].Exact {
+		t.Fatalf("first process matches: %+v", want.Matches)
+	}
+	ts1.Close()
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := topoinv.NewEngine(topoinv.WithStore(dir))
+	if err := e2.StoreErr(); err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	ts2 := httptest.NewServer(newServer(e2).routes())
+	defer ts2.Close()
+
+	for _, inst := range []*topoinv.Instance{a, a2, b, c} {
+		loadInstance(t, ts2.URL, inst)
+	}
+	var got similarResponse
+	if resp := getJSON(t, fmt.Sprintf("%s/v1/instances/%s/similar?k=3", ts2.URL, aID), &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("similar after restart: status %d", resp.StatusCode)
+	}
+	if len(got.Matches) != len(want.Matches) {
+		t.Fatalf("restart changed result count: %d vs %d", len(got.Matches), len(want.Matches))
+	}
+	for i := range want.Matches {
+		if got.Matches[i] != want.Matches[i] {
+			t.Errorf("restart changed match %d: %+v vs %+v", i, got.Matches[i], want.Matches[i])
+		}
+	}
+
+	var st topoinv.EngineStats
+	getJSON(t, ts2.URL+"/v1/stats", &st)
+	if st.Computes != 0 {
+		t.Errorf("restarted engine recomputed %d invariants, want 0", st.Computes)
+	}
+	if st.SimLoaded != 4 || st.SimReindexed != 0 {
+		t.Errorf("sim index loaded %d / reindexed %d, want 4/0", st.SimLoaded, st.SimReindexed)
+	}
+	if st.Sim.Entries != 4 {
+		t.Errorf("sim entries after restart = %d, want 4", st.Sim.Entries)
+	}
+}

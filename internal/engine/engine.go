@@ -44,6 +44,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pointfo"
 	"repro/internal/queryl"
+	"repro/internal/simindex"
 	"repro/internal/spatial"
 	"repro/internal/store"
 	"repro/internal/translate"
@@ -132,6 +133,14 @@ type Engine struct {
 
 	store    *store.Store
 	storeErr error
+
+	// sim is the two-tier similarity index over every invariant this engine
+	// has computed or loaded; persisted beside the store as SIMINDEX.bin
+	// (see simindex.go in this package).
+	sim          *simindex.Index
+	simLoaded    atomic.Uint64
+	simReindexed atomic.Uint64
+	simErrors    atomic.Uint64
 
 	// keyMemo memoizes content addresses per instance pointer, so repeated
 	// queries against the same *spatial.Instance do not re-serialize the
@@ -242,6 +251,7 @@ func New(opts ...Option) *Engine {
 	if e.storeDir != "" {
 		e.store, e.storeErr = store.Open(e.storeDir)
 	}
+	e.simInit()
 	return e
 }
 
@@ -252,11 +262,13 @@ func (e *Engine) StoreErr() error { return e.storeErr }
 // Store returns the engine's disk store, or nil when none is configured.
 func (e *Engine) Store() *store.Store { return e.store }
 
-// Close flushes and closes the disk store, if any.
+// Close persists the similarity index beside the store, then flushes and
+// closes the disk store, if any.
 func (e *Engine) Close() error {
 	if e.store == nil {
 		return nil
 	}
+	e.simSave()
 	return e.store.Close()
 }
 
@@ -414,6 +426,7 @@ func (e *Engine) load(key string, inst *spatial.Instance) (*invariant.Invariant,
 			if derr == nil {
 				e.storeHits.Add(1)
 				mStoreHits.Inc()
+				e.simAdd(key, inv)
 				return inv, nil
 			}
 			e.storeErrors.Add(1)
@@ -444,6 +457,7 @@ func (e *Engine) load(key string, inst *spatial.Instance) (*invariant.Invariant,
 			mStorePuts.Inc()
 		}
 	}
+	e.simAdd(key, inv)
 	return inv, nil
 }
 
@@ -774,6 +788,13 @@ type Stats struct {
 	StorePuts   uint64       `json:"store_puts"`
 	StoreErrors uint64       `json:"store_errors"`
 	Store       *store.Stats `json:"store,omitempty"`
+	// Sim covers the similarity index: live size plus how the corpus was
+	// recovered at startup (entries read from SIMINDEX.bin vs store blobs
+	// reindexed because the file missed them).
+	Sim          simindex.Stats `json:"sim"`
+	SimLoaded    uint64         `json:"sim_loaded"`
+	SimReindexed uint64         `json:"sim_reindexed"`
+	SimErrors    uint64         `json:"sim_errors"`
 	// AutoQueries counts queries submitted with core.Auto; AutoFallbacks
 	// counts those that fell back to Direct (invariant outside the
 	// invertible class).  Auto evaluations are otherwise recorded under the
@@ -800,6 +821,12 @@ func (e *Engine) Stats() Stats {
 		StoreErrors:    e.storeErrors.Load(),
 		AutoQueries:    e.autoQueries.Load(),
 		AutoFallbacks:  e.autoFallbacks.Load(),
+		SimLoaded:      e.simLoaded.Load(),
+		SimReindexed:   e.simReindexed.Load(),
+		SimErrors:      e.simErrors.Load(),
+	}
+	if e.sim != nil {
+		st.Sim = e.sim.Stats()
 	}
 	for i := range e.shards {
 		sh := &e.shards[i]

@@ -14,12 +14,16 @@ import (
 // answer-identity inputs — the compiled evaluator's bitset columns, rank
 // tables and quantifier plans are all indexed by sample position, so
 // map-range order leaking into them would change cached answers between
-// runs.
+// runs.  simindex is canonical for the same reason: feature vectors,
+// canonical keys and ranked retrieval order are answer identity (and the
+// index is persisted), so nondeterminism there changes served rankings
+// between runs.
 var determinismPaths = []string{
 	"repro/internal/codec",
 	"repro/internal/queryl",
 	"repro/internal/invariant",
 	"repro/internal/pointfo",
+	"repro/internal/simindex",
 }
 
 func newDeterminism() *Analyzer {

@@ -1,0 +1,136 @@
+package simindex
+
+import (
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/rat"
+	"repro/internal/region"
+	"repro/internal/spatial"
+	"repro/internal/workload"
+)
+
+// transform applies a per-region transformation to every region of an
+// instance, producing a homeomorphic (but coordinate-distinct) copy.
+func transform(t *testing.T, inst *spatial.Instance, f func(region.Region) region.Region) *spatial.Instance {
+	t.Helper()
+	regions := make(map[string]region.Region)
+	for _, name := range inst.SortedNames() {
+		regions[name] = f(inst.Region(name))
+	}
+	out, err := spatial.Build(inst.Schema(), regions)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	return out
+}
+
+// TestExactTierAgreesWithIsomorphic is the differential pin of the exact
+// tier: for every pair in a corpus of generator outputs, homeomorphic
+// copies (translated / scaled / coordinate-relabeled by reflection) and
+// deliberately non-equivalent variants, equality of canonical keys must
+// coincide with invariant.Isomorphic.
+func TestExactTierAgreesWithIsomorphic(t *testing.T) {
+	type item struct {
+		name string
+		inv  *invariant.Invariant
+	}
+	var corpus []item
+	add := func(name string, inst *spatial.Instance, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("generate %s: %v", name, err)
+		}
+		inv, err := invariant.Compute(inst)
+		if err != nil {
+			t.Fatalf("%s: invariant: %v", name, err)
+		}
+		corpus = append(corpus, item{name, inv})
+	}
+
+	// All five workload generators.
+	landuse, err := workload.LandUse(workload.DefaultLandUse(1))
+	add("landuse", landuse, err)
+	hydro, err := workload.Hydrography(workload.DefaultHydrography(1))
+	add("hydrography", hydro, err)
+	commune, err := workload.Commune(workload.DefaultCommune(1))
+	add("commune", commune, err)
+	nested, err := workload.NestedRegions(3)
+	add("nested", nested, err)
+	multi, err := workload.MultiComponent(4)
+	add("multicomponent", multi, err)
+
+	// Homeomorphic-but-not-equal copies: translated, scaled, and
+	// coordinate-relabeled (reflected) instances must land in the same
+	// bucket as their originals.
+	add("hydrography/translated", transform(t, hydro, func(r region.Region) region.Region {
+		return r.Translate(rat.FromInt(10007), rat.FromInt(-353))
+	}), nil)
+	add("commune/scaled", transform(t, commune, func(r region.Region) region.Region {
+		return r.Scale(rat.New(7, 3))
+	}), nil)
+	add("nested/reflected", transform(t, nested, func(r region.Region) region.Region {
+		return r.ReflectX()
+	}), nil)
+	add("multicomponent/translated-scaled", transform(t, multi, func(r region.Region) region.Region {
+		return r.Translate(rat.FromInt(-999), rat.FromInt(4242)).Scale(rat.New(1, 2))
+	}), nil)
+
+	// Same shapes under a different region name: not isomorphic (the
+	// invariant's structure carries per-name relations), so they must land
+	// in different buckets even though the bare canonical code collides.
+	add("rect/p", spatial.MustBuild(spatial.MustSchema("P"), map[string]region.Region{
+		"P": region.Rect(0, 0, 10, 10),
+	}), nil)
+	add("rect/q", spatial.MustBuild(spatial.MustSchema("Q"), map[string]region.Region{
+		"Q": region.Rect(0, 0, 10, 10),
+	}), nil)
+	add("rect/p-far", spatial.MustBuild(spatial.MustSchema("P"), map[string]region.Region{
+		"P": region.Rect(5000, 5000, 5010, 5030),
+	}), nil)
+	// Nearby topology that is genuinely different: one more nesting level.
+	deeper, err := workload.NestedRegions(4)
+	add("nested-deeper", deeper, err)
+
+	keys := make([]string, len(corpus))
+	for i, it := range corpus {
+		key, ok := CanonicalKey(it.inv)
+		if !ok {
+			t.Fatalf("%s: exact tier abstained; differential corpus must stay within budget", it.name)
+		}
+		keys[i] = key
+	}
+
+	for i := 0; i < len(corpus); i++ {
+		for j := i + 1; j < len(corpus); j++ {
+			sameKey := keys[i] == keys[j]
+			iso := invariant.Isomorphic(corpus[i].inv, corpus[j].inv)
+			if sameKey != iso {
+				t.Errorf("%s vs %s: same canonical key = %v but Isomorphic = %v",
+					corpus[i].name, corpus[j].name, sameKey, iso)
+			}
+		}
+	}
+
+	// Sanity: the homeomorphic pairs really bucket together, so the test
+	// can't pass vacuously with all-distinct keys.
+	pairs := map[string]string{
+		"hydrography":    "hydrography/translated",
+		"commune":        "commune/scaled",
+		"nested":         "nested/reflected",
+		"multicomponent": "multicomponent/translated-scaled",
+		"rect/p":         "rect/p-far",
+	}
+	byName := make(map[string]string, len(corpus))
+	for i, it := range corpus {
+		byName[it.name] = keys[i]
+	}
+	for a, b := range pairs {
+		if byName[a] != byName[b] {
+			t.Errorf("%s and %s should share a bucket (homeomorphic copies)", a, b)
+		}
+	}
+	if byName["rect/p"] == byName["rect/q"] {
+		t.Error("rect/p and rect/q share a bucket despite different region names")
+	}
+}

@@ -1,0 +1,107 @@
+package simindex
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/invariant"
+	"repro/internal/spatial"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenRecord pins the strings that the persistent index depends on:
+// invariant.Fingerprint and the versioned exact-tier canonical key. Any
+// drift in either invalidates every persisted SIMINDEX.bin and every
+// exact-tier bucket, so a change here must be deliberate (bump
+// canonicalKeyVersion) and re-golden'd with -update.
+type goldenRecord struct {
+	Fingerprint  string `json:"fingerprint"`
+	CanonicalKey string `json:"canonical_key"`
+}
+
+func goldenGenerators(t *testing.T) map[string]*spatial.Instance {
+	t.Helper()
+	out := make(map[string]*spatial.Instance)
+	add := func(name string, inst *spatial.Instance, err error) {
+		if err != nil {
+			t.Fatalf("generate %s: %v", name, err)
+		}
+		out[name] = inst
+	}
+	landuse, err := workload.LandUse(workload.DefaultLandUse(1))
+	add("landuse", landuse, err)
+	hydro, err := workload.Hydrography(workload.DefaultHydrography(1))
+	add("hydrography", hydro, err)
+	commune, err := workload.Commune(workload.DefaultCommune(1))
+	add("commune", commune, err)
+	nested, err := workload.NestedRegions(3)
+	add("nested", nested, err)
+	multi, err := workload.MultiComponent(4)
+	add("multicomponent", multi, err)
+	return out
+}
+
+// TestGoldenCanonicalCodes pins Fingerprint and CanonicalKey for the five
+// workload generators at scale 1.
+func TestGoldenCanonicalCodes(t *testing.T) {
+	path := filepath.Join("testdata", "golden_codes.json")
+	gens := goldenGenerators(t)
+
+	got := make(map[string]goldenRecord)
+	for name, inst := range gens {
+		inv, err := invariant.Compute(inst)
+		if err != nil {
+			t.Fatalf("%s: invariant: %v", name, err)
+		}
+		key, ok := CanonicalKey(inv)
+		if !ok {
+			t.Fatalf("%s: exact tier abstained; scale-1 generators must stay within the canonical-code budget", name)
+		}
+		got[name] = goldenRecord{Fingerprint: inv.Fingerprint(), CanonicalKey: key}
+	}
+
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden codes (run with -update to generate): %v", err)
+	}
+	var want map[string]goldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("golden file pins %q but no generator produced it", name)
+			continue
+		}
+		if g.Fingerprint != w.Fingerprint {
+			t.Errorf("%s: fingerprint drifted from golden pin\n got: %s\nwant: %s\n(code stability is a persistence contract; if deliberate, re-run with -update)", name, g.Fingerprint, w.Fingerprint)
+		}
+		if g.CanonicalKey != w.CanonicalKey {
+			t.Errorf("%s: canonical key drifted from golden pin (bump canonicalKeyVersion and re-run with -update if deliberate)", name)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("generator %q has no golden pin (run with -update)", name)
+		}
+	}
+}

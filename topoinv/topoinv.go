@@ -30,6 +30,7 @@ import (
 	"repro/internal/pointfo"
 	"repro/internal/queryl"
 	"repro/internal/region"
+	"repro/internal/simindex"
 	"repro/internal/spatial"
 	"repro/internal/stats"
 	"repro/internal/store"
@@ -79,6 +80,15 @@ type (
 	StoreOption = store.Option
 	// GeoJSONOption configures ImportGeoJSON.
 	GeoJSONOption = geojson.Option
+	// SimilarMatch is one ranked result of a similarity query
+	// (Engine.Similar): an instance key, its comparative distance to the
+	// probe, and whether it came from the exact (homeomorphism-class) tier.
+	SimilarMatch = simindex.Match
+	// SimilarEntry is an instance's similarity-index identity: equivalence
+	// class, fingerprint hash and feature vector.
+	SimilarEntry = simindex.Entry
+	// SimIndexStats summarises the similarity index's size.
+	SimIndexStats = simindex.Stats
 )
 
 // Evaluation strategies (the paper's options (i)–(iv)), plus Auto, which
